@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every benchmark file reproduces one row of DESIGN.md's experiment index:
+it sweeps the experiment, prints a paper-vs-measured table (captured in
+``bench_output.txt`` when run with ``pytest benchmarks/ --benchmark-only
+-s``), asserts the paper's qualitative claim, and times a representative
+kernel with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+
+__all__ = ["report", "rng_for"]
+
+
+def report(title: str, headers, rows) -> None:
+    """Print one experiment table (shown with ``-s`` / captured by tee)."""
+    print("\n" + format_table(headers, rows, title=title))
+
+
+def rng_for(tag: str, index: int = 0) -> np.random.Generator:
+    """Deterministic per-experiment generator.
+
+    Seeded from a stable hash of the tag — ``hash()`` is randomised per
+    interpreter process and must not be used here.
+    """
+    import hashlib
+
+    digest = hashlib.sha256(f"{tag}#{index}".encode()).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "little"))

@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""A guided tour of the paper's impossibility proofs, executed numerically.
+
+Each necessity theorem in the paper boils down to a concrete input matrix
+and a geometric fact about it (an empty intersection, or two output sets
+forced apart).  This example builds each construction and lets the LP/
+convex machinery confirm the fact — the proofs, run as programs.
+
+Run:  python examples/impossibility_tour.py
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.lower_bounds import (
+    theorem3_inputs,
+    theorem4_verdict,
+    theorem5_inputs,
+    theorem5_verdict,
+    theorem6_verdict,
+)
+from repro.geometry import gamma_delta_p, psi_k, psi_k_point
+
+
+def banner(title: str) -> None:
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def tour_theorem3() -> None:
+    banner("Theorem 3 — k-relaxed EXACT consensus, synchronous")
+    d = 3
+    Y = theorem3_inputs(d, gamma=1.0, eps=0.5)
+    print(f"the proof's inputs for d={d} (one row per process, n = d+1 = {d + 1}):")
+    print(np.round(Y, 2))
+    print("\nΨ(Y) = ∩_T H_k(T) over all leave-one-out subsets T:")
+    for k in (1, 2, 3):
+        point = psi_k_point(Y, f=1, k=k)
+        status = "EMPTY" if point is None else f"nonempty, e.g. {np.round(point, 3)}"
+        note = {1: " (k=1 escapes — its bound is only 3f+1)",
+                2: " (the theorem's contradiction)",
+                3: ""}[k]
+        print(f"  k={k}: {status}{note}")
+    extra = np.vstack([Y, Y.mean(axis=0, keepdims=True)])
+    print(f"\nadd one process (n = {d + 2} = (d+1)f+1): "
+          f"Ψ nonempty for k=2? {psi_k(extra, 1, 2)}  → the bound is tight")
+
+
+def tour_theorem5() -> None:
+    banner("Theorem 5 — constant-δ EXACT consensus, synchronous")
+    d, delta = 3, 0.25
+    print(f"inputs: x-scaled basis vectors + origin, d={d}, δ={delta}")
+    for mult, label in [(0.5, "x = dδ   (below the proof threshold)"),
+                        (1.5, "x = 3dδ  (the proof regime, x > 2dδ)")]:
+        x = 2 * d * delta * mult
+        empty = theorem5_verdict(d, delta, x=x)
+        print(f"  {label}: ∩ H_(δ,∞)(T) is {'EMPTY' if empty else 'nonempty'}")
+    Y = theorem5_inputs(d, x=2 * d * delta * 1.5)
+    print("  norm transfer: under L2 the intersection is "
+          f"{'EMPTY' if not gamma_delta_p(Y, 1, delta, 2) else 'nonempty'} too "
+          "(H_(δ,2) ⊆ H_(δ,∞))")
+
+
+def tour_theorem4() -> None:
+    banner("Theorem 4 / Appendix B — k-relaxed APPROXIMATE consensus, async")
+    d, eps = 3, 0.2
+    sep, threshold = theorem4_verdict(d, k=2, eps=eps)
+    print(f"d={d}, n = d+2 = {d + 2}, ε-agreement target: any ε < {threshold}")
+    if sep is None:
+        print("  an admissible output set is empty — even stronger than needed")
+    else:
+        print(f"  minimum achievable ‖v1 − v2‖∞ across processes 1, 2: {sep:.4f}")
+        print(f"  the paper's forced separation: ≥ 2ε = {threshold}")
+        print(f"  ⇒ ε-agreement impossible for ε < {sep:.4f}")
+
+
+def tour_theorem6() -> None:
+    banner("Theorem 6 / Appendix C — constant-δ APPROXIMATE consensus, async")
+    d, delta, eps = 3, 0.2, 0.1
+    sep, threshold = theorem6_verdict(d, delta, eps)
+    print(f"d={d}, δ={delta}, n = d+2 = {d + 2}, x > 2dδ + ε")
+    if sep is None:
+        print("  an admissible output set is empty")
+    else:
+        print(f"  minimum achievable ‖v1 − v2‖∞: {sep:.4f} > ε = {threshold}")
+        print("  ⇒ the constant relaxation does not buy a smaller system")
+
+
+def tour_lemma10() -> None:
+    banner("Lemma 10 / Appendix A — n <= 3f is impossible (point-to-point)")
+    from repro.core.lemma10 import lemma10_demo
+
+    res = lemma10_demo(d=2)
+    print("six copies of a 3-process protocol wired into the FLM ring:")
+    print(f"  q0 (sees only copy-0 values) decides {np.round(res.decisions[(1, 0)], 3)}")
+    print(f"  q1 (sees only copy-1 values) decides {np.round(res.decisions[(1, 1)], 3)}")
+    print(f"  p0 decides {np.round(res.p0, 3)},  r1 decides {np.round(res.r1, 3)}")
+    print(f"  but in scenario C, (p0, r1) is a CORRECT pair that must agree:")
+    print(f"  forced disagreement ‖p0 − r1‖∞ = {res.agreement_violation():.4f} > 0")
+
+
+def main() -> None:
+    print("Every impossibility below is the paper's own construction, decided")
+    print("by exact linear programming over the relaxed-hull encodings.")
+    tour_theorem3()
+    tour_theorem5()
+    tour_theorem4()
+    tour_theorem6()
+    tour_lemma10()
+    print("\nSummary: relaxing validity by projections (k ≥ 2) or by any")
+    print("constant δ does NOT reduce the number of processes required;")
+    print("only the input-dependent δ of §9/§10 does (see the other examples).")
+
+
+if __name__ == "__main__":
+    main()

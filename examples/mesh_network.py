@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Iterative consensus in a sparse mesh — no all-to-all connectivity.
+
+Scenario: battery-powered nodes in a mesh network (e.g. a sensor field)
+must agree on a 2-D reference value — say a rendezvous coordinate.  Radio
+range limits each node to its mesh neighbours; there is no complete
+graph, no signatures, and one node may be compromised.
+
+The full-information algorithms (ALGO, exact BVC) assume a complete
+network.  The iterative algorithm from the paper's related work (Vaidya,
+ICDCN 2014) needs only local exchanges: every round each node moves part
+of the way toward a point of ``Γ(own value + neighbours' values)`` —
+guaranteed to be in the convex hull of its honest neighbourhood whichever
+``f`` neighbours lie.
+
+Run:  python examples/mesh_network.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import run_iterative
+from repro.system import Adversary, EquivocateStrategy
+from repro.system.topology import (
+    complete_topology,
+    ring_lattice_topology,
+    wheel_of_cliques_topology,
+)
+
+
+def jam(tag, payload, dst, rng):
+    """The compromised node reports different positions to different
+    neighbours — a per-link spoofing attack."""
+    return tuple(v + (dst % 3) * 4.0 for v in payload)
+
+
+def trial(name: str, topology, inputs, faulty: int, rounds: int) -> None:
+    adv = Adversary(faulty=[faulty], strategy=EquivocateStrategy(jam))
+    out = run_iterative(
+        inputs, f=1, topology=topology, num_rounds=rounds,
+        epsilon=1e-2, adversary=adv,
+    )
+    supported = topology.supports_iterative_bvc(inputs.shape[1], 1)
+    status = "agreed" if out.report.agreement_ok else "still spread"
+    print(f"  {name:<22} deg>={topology.min_degree()}  "
+          f"diam={topology.diameter()}  "
+          f"degree-condition={'yes' if supported else 'NO '}  "
+          f"-> {status} (spread {out.report.agreement_diameter:.2e}, "
+          f"validity {'OK' if out.report.validity_ok else 'BROKEN'})")
+
+
+def main() -> None:
+    rng = np.random.default_rng(13)
+    n, d, rounds = 12, 2, 60
+    inputs = rng.normal(size=(n, d)) * 3
+
+    print(f"{n} mesh nodes, d={d}, one compromised (per-link spoofing), "
+          f"{rounds} gossip rounds\n")
+
+    trial("complete graph", complete_topology(n), inputs, faulty=n - 1,
+          rounds=rounds)
+    trial("wheel of cliques 4x3", wheel_of_cliques_topology(4, 3), inputs,
+          faulty=n - 1, rounds=rounds)
+    trial("ring lattice k=2", ring_lattice_topology(n, 2), inputs,
+          faulty=n - 1, rounds=rounds)
+    trial("ring lattice k=1 (thin)", ring_lattice_topology(n, 1), inputs,
+          faulty=n - 1, rounds=rounds)
+
+    print(
+        "\ntakeaway: validity (staying inside the honest hull) holds on "
+        "every topology — it is a local property of the Γ update.  "
+        "ε-agreement needs enough connectivity: below the (d+1)f+1 "
+        "neighbourhood size the nodes safely stall instead of being "
+        "dragged by the spoofed values."
+    )
+
+
+if __name__ == "__main__":
+    main()

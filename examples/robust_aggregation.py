@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Byzantine-robust gradient aggregation — asynchronous consensus.
+
+Scenario: workers in a decentralised training job each hold a gradient
+vector for the same model step.  There is no synchrony (stragglers,
+arbitrary network delays) and up to ``f`` workers may be malicious.  The
+workers run Relaxed Verified Averaging (paper §10) to agree — within ε —
+on an aggregated gradient that is provably within δ of the convex hull of
+the honest gradients.
+
+The classic approach (Verified Averaging, δ = 0) needs ``n >= (d+2)f+1``
+workers.  The paper's relaxation runs with as few as ``3f+1``, paying an
+input-dependent δ (Theorem 15).  This example runs both regimes.
+
+Run:  python examples/robust_aggregation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import run_averaging
+from repro.core.bounds import approx_bvc_min_n
+from repro.system import Adversary, MutateStrategy, SilentStrategy
+from repro.system.scheduler import DelayPolicy
+
+
+def honest_gradients(rng: np.random.Generator, n: int, d: int) -> np.ndarray:
+    """Honest workers' gradients: a shared signal plus minibatch noise."""
+    true_grad = rng.normal(size=d)
+    return true_grad + rng.normal(scale=0.2, size=(n, d))
+
+
+def gradient_attack(tag, payload, rng):
+    """Malicious worker reports an inverted, scaled gradient."""
+    phase, v = payload
+    if phase == "init" and isinstance(v, tuple) and len(v) == 2 and v[0] == "val":
+        return (phase, ("val", tuple(-10.0 * x for x in v[1])))
+    return payload
+
+
+def show(label, out, eps):
+    agg = next(iter(out.decisions.values()))
+    print(f"  [{'OK ' if out.ok else 'FAIL'}] {label}")
+    print(f"        aggregated gradient (first 3 coords): {np.round(agg[:3], 4)}")
+    print(f"        δ used: {out.delta_used:.4f}   "
+          f"agreement diameter: {out.report.agreement_diameter:.2e} (ε = {eps})")
+    print(f"        deliveries: {out.result.rounds}")
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    d, f, eps = 3, 1, 1e-3
+
+    # --- regime 1: full quorum, classic verified averaging (δ = 0) ----------
+    n1 = approx_bvc_min_n(d, f)  # (d+2)f+1 = 6
+    grads = honest_gradients(rng, n1, d)
+    adv = Adversary(faulty=[n1 - 1], strategy=MutateStrategy(gradient_attack))
+    print(f"regime 1: n={n1} workers (classic bound), δ=0 verified averaging")
+    out = run_averaging(grads, f=f, adversary=adv, mode="zero", epsilon=eps, seed=1)
+    show("classic verified averaging", out, eps)
+
+    # --- regime 2: minimal quorum, relaxed verified averaging ---------------
+    n2 = d + 1  # below (d+2)f+1: classic algorithm cannot run here
+    grads = honest_gradients(rng, n2, d)
+    adv = Adversary(faulty=[n2 - 1], strategy=MutateStrategy(gradient_attack))
+    print(f"\nregime 2: n={n2} workers (below classic bound), relaxed averaging")
+    out = run_averaging(grads, f=f, adversary=adv, mode="optimal", epsilon=eps, seed=2)
+    show("relaxed verified averaging", out, eps)
+
+    # --- regime 3: adversarial scheduling + a silent straggler --------------
+    print(f"\nregime 3: n={n2} workers, silent fault + starvation schedule")
+    grads = honest_gradients(rng, n2, d)
+    adv = Adversary(faulty=[0], strategy=SilentStrategy())
+    out = run_averaging(
+        grads, f=f, adversary=adv, epsilon=eps,
+        policy=DelayPolicy(victims=[1]), seed=3,
+    )
+    show("relaxed averaging under starvation", out, eps)
+
+    print(
+        "\ntakeaway: the malicious gradient never enters the aggregate "
+        "beyond the certified δ — and the relaxed algorithm keeps working "
+        "with fewer workers than classic Byzantine averaging allows."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Sensor fusion with compromised sensors — synchronous consensus.
+
+Scenario: a swarm of tracking stations each estimates the 3-D position of
+the same target.  Estimates are noisy; up to ``f`` stations are
+compromised and report arbitrary positions.  All stations must agree on
+one fused position that is *defensible* — provably close to the convex
+hull of the honest estimates — even though nobody knows which stations
+are compromised.
+
+This is exactly (δ,2)-relaxed exact Byzantine vector consensus.  The
+example compares three deployments:
+
+1. a full fleet (``n = (d+1)f + 1``): exact consensus, δ = 0;
+2. a reduced fleet (``n = d + 1``): ALGO with input-dependent δ;
+3. a minimal fleet for coordinate-wise guarantees (``k = 1`` relaxed).
+
+Run:  python examples/sensor_fusion.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import run_algo, run_exact_bvc, run_k_relaxed
+from repro.core.bounds import theorem9_bound
+from repro.system import Adversary, MutateStrategy
+
+
+TARGET = np.array([12.0, -4.0, 7.5])
+
+
+def station_estimates(rng: np.random.Generator, n: int, noise: float) -> np.ndarray:
+    """Honest stations see the target plus gaussian measurement noise."""
+    return TARGET + rng.normal(scale=noise, size=(n, 3))
+
+
+def spoofed_relay(tag, payload, rng):
+    """Compromised station reports a position 100 units off."""
+    path, value = payload
+    if value is None:
+        return payload
+    return (path, tuple(v + 100.0 for v in value))
+
+
+def describe(label: str, out, extra: str = "") -> None:
+    decision = next(iter(out.decisions.values()))
+    err = np.linalg.norm(decision - TARGET)
+    status = "OK " if out.ok else "FAIL"
+    print(f"  [{status}] {label}")
+    print(f"        fused position {np.round(decision, 3)}  "
+          f"(true-target error {err:.3f}) {extra}")
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+    f = 1
+
+    print(f"target at {TARGET}; up to {f} compromised station(s)\n")
+
+    # --- deployment 1: full fleet, exact consensus --------------------------
+    n1 = 5  # (d+1)f+1
+    inputs = station_estimates(rng, n1, noise=0.5)
+    adv = Adversary(faulty=[4], strategy=MutateStrategy(spoofed_relay))
+    out = run_exact_bvc(inputs, f=f, adversary=adv)
+    print(f"deployment 1: n={n1} stations, exact BVC (δ = 0)")
+    describe("exact consensus", out)
+
+    # --- deployment 2: reduced fleet, relaxed consensus ---------------------
+    n2 = 4  # d+1 — exact consensus impossible here
+    inputs = station_estimates(rng, n2, noise=0.5)
+    adv = Adversary(faulty=[3], strategy=MutateStrategy(spoofed_relay))
+    out = run_algo(inputs, f=f, adversary=adv)
+    bound = theorem9_bound(out.honest_inputs, n2)
+    print(f"\ndeployment 2: n={n2} stations, ALGO (input-dependent δ)")
+    describe(
+        "relaxed consensus",
+        out,
+        extra=f"\n        δ* = {out.delta_used:.4f}  (Theorem 9 bound {bound:.4f})",
+    )
+
+    # --- deployment 3: minimal fleet, coordinate-wise guarantee -------------
+    n3 = 4  # 3f+1: enough for k=1 relaxed regardless of d
+    inputs = station_estimates(rng, n3, noise=0.5)
+    adv = Adversary(faulty=[0], strategy=MutateStrategy(spoofed_relay))
+    out = run_k_relaxed(inputs, f=f, k=1, adversary=adv)
+    print(f"\ndeployment 3: n={n3} stations, 1-relaxed (per-axis validity)")
+    describe("k=1 relaxed consensus", out)
+
+    print(
+        "\ntakeaway: shrinking the fleet below (d+1)f+1 costs exactness, "
+        "but ALGO's δ stays within the paper's input-dependent bound — the "
+        "fused position degrades gracefully instead of becoming impossible."
+    )
+
+
+if __name__ == "__main__":
+    main()

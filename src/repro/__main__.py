@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``      run a quick end-to-end ALGO demonstration
+``bounds``    print the paper's process-count bounds for given (d, f)
+``delta``     compute δ*(S) for random or provided inputs
+``verdicts``  execute the impossibility constructions for a given d
+``fuzz``      randomised adversary soak test of one algorithm
+
+Examples::
+
+    python -m repro demo --d 4 --seed 3
+    python -m repro bounds --d 5 --f 2
+    python -m repro delta --n 5 --d 4 --f 1 --seed 0
+    python -m repro verdicts --d 3
+    python -m repro fuzz --algorithm algo --trials 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .core import run_algo, run_exact_bvc
+    from .core.bounds import exact_bvc_min_n, theorem9_bound
+    from .system import Adversary
+
+    d, f = args.d, 1
+    n = d + 1
+    rng = np.random.default_rng(args.seed)
+    inputs = rng.normal(size=(n, d))
+    inputs[-1] = 25.0  # adversarially chosen faulty input
+    print(f"n={n}, d={d}, f={f}; exact BVC needs n >= {exact_bvc_min_n(d, f)}")
+    try:
+        run_exact_bvc(inputs, f=f, adversary=Adversary(faulty=[n - 1]))
+        print("exact BVC: succeeded (Γ nonempty for this instance)")
+    except ValueError as exc:
+        print(f"exact BVC: {exc}")
+    out = run_algo(inputs, f=f, adversary=Adversary(faulty=[n - 1]))
+    print(f"ALGO: ok={out.ok}  δ*={out.delta_used:.6f}  "
+          f"(Theorem 9 bound {theorem9_bound(out.honest_inputs, n):.6f})")
+    print(f"decision: {np.round(next(iter(out.decisions.values())), 4)}")
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    from .core import bounds
+
+    d, f = args.d, args.f
+    rows = [
+        ("exact BVC (sync)", bounds.exact_bvc_min_n(d, f)),
+        ("approximate BVC (async)", bounds.approx_bvc_min_n(d, f)),
+        ("k-relaxed exact, k=1", bounds.k_relaxed_exact_min_n(d, f, 1)),
+        ("k-relaxed exact, 2<=k<=d", bounds.k_relaxed_exact_min_n(d, f, min(2, d))),
+        ("(δ,p) exact, constant δ", bounds.delta_p_exact_min_n(d, f, 1.0)),
+        ("(δ,p) approx, constant δ", bounds.delta_p_approx_min_n(d, f, 1.0)),
+        ("input-dependent δ (Lemma 10 floor)", bounds.input_dependent_min_n(f)),
+    ]
+    width = max(len(r[0]) for r in rows)
+    print(f"tight process-count bounds for d={d}, f={f}:")
+    for name, val in rows:
+        print(f"  {name.ljust(width)}  n >= {val}")
+    if f >= 1 and 3 * f + 1 <= (d + 1) * f:
+        k = bounds.kappa(3 * f + 1, f, d, 2)
+        print(f"  κ(3f+1={3 * f + 1}, f, d, 2) = {k:.4f}  "
+              f"(δ* < κ · max-edge at the minimum system size)")
+    return 0
+
+
+def _cmd_delta(args: argparse.Namespace) -> int:
+    from .geometry import delta_star
+    from .geometry.norms import max_edge_length, min_edge_length
+
+    rng = np.random.default_rng(args.seed)
+    S = rng.normal(size=(args.n, args.d))
+    res = delta_star(S, args.f, p=args.p)
+    print(f"random inputs: n={args.n}, d={args.d}, f={args.f}, p={args.p}, "
+          f"seed={args.seed}")
+    print(f"δ*(S)      = {res.value:.9f}   (certified gap {res.gap:.2e})")
+    print(f"minimiser  = {np.round(res.point, 5)}")
+    print(f"min-edge/2 = {min_edge_length(S) / 2:.9f}")
+    if args.n >= 3:
+        print(f"max-edge/(n-2) = {max_edge_length(S) / (args.n - 2):.9f}")
+    return 0
+
+
+def _cmd_verdicts(args: argparse.Namespace) -> int:
+    from .core import (
+        theorem3_verdict,
+        theorem4_verdict,
+        theorem5_verdict,
+        theorem6_verdict,
+    )
+
+    d = args.d
+    print(f"impossibility constructions at d={d} (f=1):")
+    if d >= 3:
+        print(f"  Theorem 3 (k=2, n=d+1):      Ψ(Y) empty = {theorem3_verdict(d)}")
+        sep, thr = theorem4_verdict(d)
+        print(f"  Theorem 4 (k=2, n=d+2):      forced sep {sep} >= 2ε = {thr}")
+    else:
+        print("  Theorems 3/4 need d >= 3")
+    print(f"  Theorem 5 (δ=0.25, n=d+1):   intersection empty = "
+          f"{theorem5_verdict(d, 0.25)}")
+    sep, thr = theorem6_verdict(d, 0.25, 0.1)
+    print(f"  Theorem 6 (δ=0.25, n=d+2):   forced sep {sep} > ε = {thr}")
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .analysis.fuzz import fuzz_consensus
+
+    failures = fuzz_consensus(args.algorithm, trials=args.trials, seed=args.seed)
+    print(f"{args.trials} randomised runs of {args.algorithm!r}: "
+          f"{len(failures)} invariant violations")
+    for fail in failures:
+        print(f"  {fail}")
+    return 1 if failures else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Relaxed Byzantine Vector Consensus — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("demo", help="quick end-to-end ALGO demonstration")
+    p.add_argument("--d", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_demo)
+
+    p = sub.add_parser("bounds", help="print the paper's n-bounds")
+    p.add_argument("--d", type=int, required=True)
+    p.add_argument("--f", type=int, required=True)
+    p.set_defaults(func=_cmd_bounds)
+
+    p = sub.add_parser("delta", help="compute δ*(S) on random inputs")
+    p.add_argument("--n", type=int, required=True)
+    p.add_argument("--d", type=int, required=True)
+    p.add_argument("--f", type=int, default=1)
+    p.add_argument("--p", type=float, default=2.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_delta)
+
+    p = sub.add_parser("verdicts", help="run the impossibility constructions")
+    p.add_argument("--d", type=int, default=3)
+    p.set_defaults(func=_cmd_verdicts)
+
+    p = sub.add_parser("fuzz", help="randomised adversary soak test")
+    p.add_argument("--algorithm", default="algo",
+                   choices=["exact", "algo", "k1", "averaging"])
+    p.add_argument("--trials", type=int, default=50)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_fuzz)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (returns the process exit code)."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

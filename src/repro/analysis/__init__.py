@@ -1,0 +1,42 @@
+"""Experiment support: workloads, metrics, tables, adversary fuzzing."""
+
+from .fuzz import ALGORITHMS, FuzzFailure, fuzz_consensus, random_adversary
+from .metrics import DeltaTrial, TrialSummary, measure_delta_star, summarize_trials
+from .tables import format_table, print_table
+from .transcripts import TranscriptSummary, render_transcript, summarize_transcript
+from .workloads import (
+    WORKLOADS,
+    clustered_inputs,
+    collinear_inputs,
+    degenerate_inputs,
+    duplicated_inputs,
+    gaussian_inputs,
+    make_workload,
+    simplex_inputs,
+    sphere_inputs,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "DeltaTrial",
+    "FuzzFailure",
+    "fuzz_consensus",
+    "random_adversary",
+    "TranscriptSummary",
+    "TrialSummary",
+    "WORKLOADS",
+    "render_transcript",
+    "summarize_transcript",
+    "clustered_inputs",
+    "collinear_inputs",
+    "degenerate_inputs",
+    "duplicated_inputs",
+    "format_table",
+    "gaussian_inputs",
+    "make_workload",
+    "measure_delta_star",
+    "print_table",
+    "simplex_inputs",
+    "sphere_inputs",
+    "summarize_trials",
+]

@@ -1,0 +1,193 @@
+"""Randomised adversary fuzzing: invariant checking at scale.
+
+The proofs quantify over *all* Byzantine behaviours; unit tests exercise
+hand-picked ones.  This module fills the space between: it samples random
+fault patterns (who is corrupt, which strategy, with random parameters),
+random inputs, and random delivery schedules, runs a consensus algorithm,
+and checks the problem invariants on every run.  A single surviving
+violation is returned with its full seed, so it can be replayed as a
+regression test.
+
+Used by the failure-injection test suite and available to users as a
+soak-testing entry point::
+
+    from repro.analysis.fuzz import fuzz_consensus
+    failures = fuzz_consensus("algo", trials=200, seed=7)
+    assert not failures
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..core.runner import (
+    ConsensusOutcome,
+    run_algo,
+    run_averaging,
+    run_exact_bvc,
+    run_k_relaxed,
+)
+from ..system.adversary import (
+    Adversary,
+    ByzantineStrategy,
+    CrashStrategy,
+    DuplicateStrategy,
+    EquivocateStrategy,
+    HonestStrategy,
+    MutateStrategy,
+    SilentStrategy,
+)
+
+__all__ = ["FuzzFailure", "random_adversary", "fuzz_consensus", "ALGORITHMS"]
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One invariant violation, with everything needed to replay it."""
+
+    algorithm: str
+    seed: int
+    n: int
+    d: int
+    f: int
+    strategy_name: str
+    agreement_ok: bool
+    validity_ok: bool
+    termination_ok: bool
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"[{self.algorithm}] seed={self.seed} n={self.n} d={self.d} "
+            f"f={self.f} strategy={self.strategy_name} "
+            f"agreement={self.agreement_ok} validity={self.validity_ok} "
+            f"termination={self.termination_ok}"
+        )
+
+
+def _random_value_noise(scale: float):
+    """Payload mutator: add structured noise to any numeric tuple found
+    in the payload (protocol-agnostic best effort)."""
+
+    def mutate(value, rng):
+        if isinstance(value, tuple):
+            if all(isinstance(v, float) for v in value) and value:
+                return tuple(v + float(rng.normal() * scale) for v in value)
+            return tuple(mutate(v, rng) for v in value)
+        return value
+
+    return mutate
+
+
+def random_adversary(
+    rng: np.random.Generator, n: int, f: int
+) -> tuple[Adversary, str]:
+    """Sample a fault pattern: random corrupt set + random strategy."""
+    count = int(rng.integers(0, f + 1))
+    faulty = sorted(rng.choice(n, size=count, replace=False).tolist())
+    kind = rng.choice(
+        ["honest", "silent", "crash", "mutate", "equivocate", "duplicate"]
+    )
+    noise = _random_value_noise(float(rng.uniform(0.5, 100.0)))
+    strategy: ByzantineStrategy
+    if kind == "honest":
+        strategy = HonestStrategy()
+    elif kind == "silent":
+        strategy = SilentStrategy()
+    elif kind == "crash":
+        strategy = CrashStrategy(int(rng.integers(0, 3)))
+    elif kind == "mutate":
+        strategy = MutateStrategy(lambda tag, p, r: noise(p, r))
+    elif kind == "equivocate":
+        strategy = EquivocateStrategy(lambda tag, p, dst, r: noise(p, r))
+    else:
+        strategy = DuplicateStrategy(int(rng.integers(2, 4)))
+    return Adversary(faulty=faulty, strategy=strategy), str(kind)
+
+
+#: algorithm name -> (runner thunk, n chooser).  Each thunk gets
+#: (inputs, f, adversary, seed) and returns a ConsensusOutcome.
+ALGORITHMS: dict[str, Callable[..., ConsensusOutcome]] = {
+    "exact": lambda inputs, f, adv, seed: run_exact_bvc(
+        inputs, f, adversary=adv, seed=seed
+    ),
+    "algo": lambda inputs, f, adv, seed: run_algo(
+        inputs, f, adversary=adv, seed=seed
+    ),
+    "k1": lambda inputs, f, adv, seed: run_k_relaxed(
+        inputs, f, 1, adversary=adv, seed=seed
+    ),
+    "averaging": lambda inputs, f, adv, seed: run_averaging(
+        inputs, f, adversary=adv, epsilon=5e-2, seed=seed
+    ),
+}
+
+
+def _system_shape(rng: np.random.Generator, algorithm: str) -> tuple[int, int, int]:
+    """Sample a legal (n, d, f) for the algorithm."""
+    f = 1
+    if algorithm == "exact":
+        d = int(rng.integers(1, 4))
+        n = max(3 * f + 1, (d + 1) * f + 1) + int(rng.integers(0, 2))
+    elif algorithm in ("algo", "averaging"):
+        d = int(rng.integers(2, 5))
+        n = max(4, d + 1)
+    else:  # k1
+        d = int(rng.integers(1, 6))
+        n = 4 + int(rng.integers(0, 2))
+    return n, d, f
+
+
+def fuzz_consensus(
+    algorithm: str,
+    trials: int = 50,
+    seed: int = 0,
+    *,
+    input_scale: float = 3.0,
+    stop_on_first: bool = False,
+) -> list[FuzzFailure]:
+    """Run ``trials`` randomised executions; return every violation.
+
+    Parameters
+    ----------
+    algorithm:
+        One of :data:`ALGORITHMS` (``"exact"``, ``"algo"``, ``"k1"``,
+        ``"averaging"``).
+    trials, seed:
+        Sweep size and master seed (each trial derives its own).
+    input_scale:
+        Standard deviation of the gaussian inputs.
+    stop_on_first:
+        Return immediately on the first violation (debugging mode).
+    """
+    if algorithm not in ALGORITHMS:
+        raise ValueError(f"unknown algorithm {algorithm!r}; choices {sorted(ALGORITHMS)}")
+    runner = ALGORITHMS[algorithm]
+    master = np.random.default_rng(seed)
+    failures: list[FuzzFailure] = []
+    for t in range(trials):
+        trial_seed = int(master.integers(0, 2**31 - 1))
+        rng = np.random.default_rng(trial_seed)
+        n, d, f = _system_shape(rng, algorithm)
+        inputs = rng.normal(scale=input_scale, size=(n, d))
+        adversary, strategy_name = random_adversary(rng, n, f)
+        outcome = runner(inputs, f, adversary, trial_seed)
+        if not outcome.ok:
+            failures.append(
+                FuzzFailure(
+                    algorithm=algorithm,
+                    seed=trial_seed,
+                    n=n,
+                    d=d,
+                    f=f,
+                    strategy_name=strategy_name,
+                    agreement_ok=outcome.report.agreement_ok,
+                    validity_ok=outcome.report.validity_ok,
+                    termination_ok=outcome.report.termination_ok,
+                )
+            )
+            if stop_on_first:
+                break
+    return failures

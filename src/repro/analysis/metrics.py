@@ -1,0 +1,125 @@
+"""Experiment metrics: the quantities the paper's Table 1 is stated in.
+
+The central measurement is the *normalised relaxation*
+
+    ``ratio = δ*(S) / max_edge(honest inputs)``
+
+which Table 1 upper-bounds by ``κ(n, f, d, p)``.  These helpers compute
+the ratios, aggregate them over trial batches, and package the
+paper-vs-measured comparison rows for the benchmark printers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..geometry.minimax import delta_star
+from ..geometry.norms import max_edge_length, min_edge_length
+
+__all__ = ["DeltaTrial", "measure_delta_star", "summarize_trials", "TrialSummary"]
+
+PNorm = Union[float, int]
+
+
+@dataclass(frozen=True)
+class DeltaTrial:
+    """One δ* measurement against its input-dependent bounds."""
+
+    n: int
+    d: int
+    f: int
+    p: float
+    delta_star: float
+    max_edge: float
+    min_edge: float
+    bound: float
+    gap: float
+
+    @property
+    def ratio(self) -> float:
+        """``δ*/max-edge`` (0 when the honest inputs coincide)."""
+        return self.delta_star / self.max_edge if self.max_edge > 0 else 0.0
+
+    @property
+    def within_bound(self) -> bool:
+        """Whether the paper's bound holds for this trial (strictly, up to
+        solver tolerance)."""
+        return self.delta_star <= self.bound + 1e-7 * max(1.0, self.bound)
+
+
+def measure_delta_star(
+    inputs: np.ndarray,
+    faulty: Sequence[int],
+    f: int,
+    *,
+    p: PNorm = 2,
+    bound: Optional[float] = None,
+) -> DeltaTrial:
+    """Run the δ* solver on the full multiset, measure against a bound.
+
+    ``faulty`` identifies which rows of ``inputs`` are Byzantine; the
+    edge statistics (and, by default, the Theorem 9/12/Conjecture bound
+    the caller supplies) are computed over the *honest* rows only, per
+    the paper's ``E+`` definition.
+    """
+    inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
+    n, d = inputs.shape
+    faulty_set = set(int(x) for x in faulty)
+    if len(faulty_set) > f:
+        raise ValueError(f"|faulty|={len(faulty_set)} exceeds f={f}")
+    honest = np.array([inputs[i] for i in range(n) if i not in faulty_set])
+    result = delta_star(inputs, f, p=p)
+    max_e = max_edge_length(honest, p)
+    min_e = min_edge_length(honest, p)
+    if bound is None:
+        bound = math.inf
+    return DeltaTrial(
+        n=n,
+        d=d,
+        f=f,
+        p=float(p),
+        delta_star=result.value,
+        max_edge=max_e,
+        min_edge=min_e if math.isfinite(min_e) else 0.0,
+        bound=float(bound),
+        gap=result.gap,
+    )
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Aggregate of a batch of :class:`DeltaTrial` measurements."""
+
+    count: int
+    violations: int
+    max_ratio: float
+    mean_ratio: float
+    max_delta: float
+    max_bound_utilisation: float  # max over trials of δ*/bound
+
+    @property
+    def all_within_bound(self) -> bool:
+        return self.violations == 0
+
+
+def summarize_trials(trials: Sequence[DeltaTrial]) -> TrialSummary:
+    """Aggregate bound-compliance statistics over a batch of trials."""
+    if not trials:
+        raise ValueError("no trials to summarise")
+    ratios = [t.ratio for t in trials]
+    utils = [
+        t.delta_star / t.bound if t.bound > 0 and math.isfinite(t.bound) else 0.0
+        for t in trials
+    ]
+    return TrialSummary(
+        count=len(trials),
+        violations=sum(0 if t.within_bound else 1 for t in trials),
+        max_ratio=max(ratios),
+        mean_ratio=float(np.mean(ratios)),
+        max_delta=max(t.delta_star for t in trials),
+        max_bound_utilisation=max(utils),
+    )

@@ -1,0 +1,86 @@
+"""Transcript analysis: post-hoc inspection of recorded executions.
+
+Schedulers accept ``record_transcript=True`` and attach the full
+``(round-or-step, Message)`` sequence to the :class:`~repro.system
+.scheduler.RunResult`.  These helpers turn that raw stream into the
+summaries protocol debugging actually needs: per-round message counts,
+per-tag breakdowns, per-sender activity, and a compact text rendering.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..system.messages import Message
+
+__all__ = ["TranscriptSummary", "summarize_transcript", "render_transcript"]
+
+
+@dataclass(frozen=True)
+class TranscriptSummary:
+    """Aggregate view of one recorded execution."""
+
+    total_messages: int
+    rounds: int
+    per_round: dict[int, int]
+    per_tag: dict[str, int]
+    per_sender: dict[int, int]
+    faulty_share: float  # fraction of traffic originated by faulty ids
+
+    def busiest_round(self) -> Optional[int]:
+        """Round with the most traffic (None for an empty transcript)."""
+        if not self.per_round:
+            return None
+        return max(self.per_round, key=lambda r: (self.per_round[r], -r))
+
+
+def summarize_transcript(
+    transcript: Sequence[tuple[int, Message]],
+    faulty: Sequence[int] = (),
+) -> TranscriptSummary:
+    """Aggregate a recorded transcript."""
+    per_round: Counter = Counter()
+    per_tag: Counter = Counter()
+    per_sender: Counter = Counter()
+    faulty_set = set(faulty)
+    faulty_msgs = 0
+    for r, msg in transcript:
+        per_round[r] += 1
+        per_tag[msg.tag] += 1
+        per_sender[msg.src] += 1
+        if msg.src in faulty_set:
+            faulty_msgs += 1
+    total = len(transcript)
+    return TranscriptSummary(
+        total_messages=total,
+        rounds=len(per_round),
+        per_round=dict(per_round),
+        per_tag=dict(per_tag),
+        per_sender=dict(per_sender),
+        faulty_share=faulty_msgs / total if total else 0.0,
+    )
+
+
+def render_transcript(
+    transcript: Sequence[tuple[int, Message]],
+    *,
+    max_rows: int = 40,
+) -> str:
+    """Human-readable rendering of (a prefix of) a transcript."""
+    lines = []
+    grouped: dict[int, list[Message]] = defaultdict(list)
+    for r, msg in transcript:
+        grouped[r].append(msg)
+    emitted = 0
+    for r in sorted(grouped):
+        lines.append(f"round/step {r}: {len(grouped[r])} message(s)")
+        for msg in grouped[r]:
+            if emitted >= max_rows:
+                lines.append(f"  ... ({len(transcript) - emitted} more)")
+                return "\n".join(lines)
+            dst = "ALL" if msg.is_atomic_broadcast else str(msg.dst)
+            lines.append(f"  {msg.src} -> {dst}  [{msg.tag}]")
+            emitted += 1
+    return "\n".join(lines)

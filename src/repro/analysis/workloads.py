@@ -1,0 +1,156 @@
+"""Input-workload generators for experiments and property tests.
+
+The paper's bounds are input-dependent (Table 1 scales with edge lengths
+between non-faulty inputs), so the benchmarks sweep qualitatively
+different input geometries:
+
+* ``gaussian`` — generic position (the typical case; simplices are
+  well-conditioned with high probability);
+* ``sphere`` — inputs on a sphere (symmetric, near-regular simplices:
+  δ*/max-edge near its worst case);
+* ``clustered`` — non-faulty inputs in a tight cluster plus outliers
+  (min-edge ≪ max-edge: separates Theorem 9's two bounds);
+* ``degenerate`` — affinely dependent inputs (Theorem 8: δ* must be 0);
+* ``collinear`` / ``duplicated`` — harsher degeneracies;
+* the proof matrices from :mod:`repro.core.lower_bounds` are re-exported
+  for convenience.
+
+All generators take an explicit ``numpy.random.Generator`` — runs are
+reproducible from a seed, never from global state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = [
+    "gaussian_inputs",
+    "sphere_inputs",
+    "clustered_inputs",
+    "degenerate_inputs",
+    "collinear_inputs",
+    "duplicated_inputs",
+    "simplex_inputs",
+    "WORKLOADS",
+    "make_workload",
+]
+
+
+def gaussian_inputs(
+    rng: np.random.Generator, n: int, d: int, scale: float = 1.0
+) -> np.ndarray:
+    """``n`` i.i.d. standard-normal points in ``R^d`` (generic position)."""
+    return rng.normal(scale=scale, size=(n, d))
+
+
+def sphere_inputs(
+    rng: np.random.Generator, n: int, d: int, radius: float = 1.0
+) -> np.ndarray:
+    """``n`` points uniform on the ``(d-1)``-sphere of given radius."""
+    x = rng.normal(size=(n, d))
+    norms = np.linalg.norm(x, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    return radius * x / norms
+
+
+def clustered_inputs(
+    rng: np.random.Generator,
+    n: int,
+    d: int,
+    *,
+    cluster_size: Optional[int] = None,
+    cluster_scale: float = 0.05,
+    outlier_scale: float = 2.0,
+) -> np.ndarray:
+    """A tight cluster of ``cluster_size`` points plus far-flung outliers.
+
+    Default cluster size is ``n - 1`` — one outlier, the configuration
+    that maximally separates ``min-edge`` from ``max-edge`` in Theorem
+    9's two bounds.
+    """
+    if cluster_size is None:
+        cluster_size = n - 1
+    if not 1 <= cluster_size <= n:
+        raise ValueError(f"need 1 <= cluster_size <= n, got {cluster_size}")
+    center = rng.normal(size=d)
+    cluster = center + rng.normal(scale=cluster_scale, size=(cluster_size, d))
+    outliers = rng.normal(scale=outlier_scale, size=(n - cluster_size, d))
+    return np.vstack([cluster, outliers])
+
+
+def degenerate_inputs(
+    rng: np.random.Generator, n: int, d: int, rank: Optional[int] = None
+) -> np.ndarray:
+    """``n`` points confined to a random affine subspace of given rank.
+
+    Default rank is ``min(n - 2, d - 1)`` — strictly affinely dependent,
+    the Theorem 8 regime where δ* = 0 is achievable.
+    """
+    if rank is None:
+        rank = max(0, min(n - 2, d - 1))
+    if rank > d:
+        raise ValueError(f"rank {rank} exceeds ambient dimension {d}")
+    origin = rng.normal(size=d)
+    basis = rng.normal(size=(rank, d)) if rank > 0 else np.zeros((0, d))
+    coords = rng.normal(size=(n, rank)) if rank > 0 else np.zeros((n, 0))
+    return origin + coords @ basis
+
+
+def collinear_inputs(rng: np.random.Generator, n: int, d: int) -> np.ndarray:
+    """``n`` points on a random line (rank-1 degeneracy)."""
+    return degenerate_inputs(rng, n, d, rank=1)
+
+
+def duplicated_inputs(
+    rng: np.random.Generator, n: int, d: int, distinct: int = 2
+) -> np.ndarray:
+    """``n`` points with only ``distinct`` distinct values (multiset
+    semantics stress test)."""
+    if not 1 <= distinct <= n:
+        raise ValueError(f"need 1 <= distinct <= n, got {distinct}")
+    base = rng.normal(size=(distinct, d))
+    idx = rng.integers(0, distinct, size=n)
+    idx[:distinct] = np.arange(distinct)  # guarantee all appear
+    return base[idx]
+
+
+def simplex_inputs(
+    rng: np.random.Generator, n: int, d: int, min_inradius: float = 1e-3
+) -> np.ndarray:
+    """``n = d + 1`` affinely independent points (a non-flat simplex).
+
+    Rejection-samples gaussians until the simplex inradius exceeds
+    ``min_inradius`` — avoids numerically sliver simplices in geometry
+    benchmarks.
+    """
+    from ..geometry.simplex import inradius, is_affinely_independent
+
+    if n != d + 1:
+        raise ValueError(f"simplex workload needs n = d+1, got n={n}, d={d}")
+    for _ in range(1000):
+        pts = rng.normal(size=(n, d))
+        if is_affinely_independent(pts) and inradius(pts) >= min_inradius:
+            return pts
+    raise RuntimeError("failed to sample a well-conditioned simplex")
+
+
+#: Registry used by the benchmark sweeps.
+WORKLOADS: dict[str, Callable[..., np.ndarray]] = {
+    "gaussian": gaussian_inputs,
+    "sphere": sphere_inputs,
+    "clustered": clustered_inputs,
+    "degenerate": degenerate_inputs,
+    "collinear": collinear_inputs,
+    "duplicated": duplicated_inputs,
+}
+
+
+def make_workload(
+    name: str, rng: np.random.Generator, n: int, d: int, **kwargs
+) -> np.ndarray:
+    """Dispatch into :data:`WORKLOADS` by name."""
+    if name not in WORKLOADS:
+        raise ValueError(f"unknown workload {name!r}; choices: {sorted(WORKLOADS)}")
+    return WORKLOADS[name](rng, n, d, **kwargs)

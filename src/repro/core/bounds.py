@@ -1,0 +1,293 @@
+"""Every bound in the paper, as code.
+
+This module is the quantitative heart of the reproduction: Theorems 1–6
+(tight process-count bounds), the Table 1 upper bounds on the achievable
+input-dependent δ (Theorems 9, 12, 14, 15), and Conjectures 1–4 — each as
+a function the tests and benchmarks evaluate against measured behaviour.
+
+Process-count bounds (necessary **and** sufficient):
+
+===========================  ============================  ====================
+Problem                      Synchronous (exact)           Asynchronous (approx)
+===========================  ============================  ====================
+BVC (§4)                     ``max(3f+1, (d+1)f+1)``       ``(d+2)f+1``
+k-relaxed, k = 1             ``3f+1``                      ``3f+1``
+k-relaxed, 2 <= k <= d-1     ``(d+1)f+1``  (Thm 3)         ``(d+2)f+1`` (Thm 4)
+k-relaxed, k = d             ``max(3f+1, (d+1)f+1)``       ``(d+2)f+1``
+(δ,p), const 0 < δ < ∞       ``max(3f+1, (d+1)f+1)``(Thm5) ``(d+2)f+1`` (Thm 6)
+(δ,p), δ = ∞                 trivial (n >= 2)              trivial (n >= 2)
+(δ,p), input-dependent δ     ``3f+1`` (Lemma 10)           ``3f+1``
+===========================  ============================  ====================
+
+Input-dependent δ upper bounds (§9.2.3, Table 1), with ``e`` ranging over
+edges between non-faulty inputs:
+
+* f = 1, n = d+1 (Thm 9):  ``δ* < min(min_e ||e||_2 / 2, max_e ||e||_2 / (n-2))``
+* f >= 2, n = (d+1)f (Thm 12):  ``δ* < max_e ||e||_2 / (d-1)``
+* 3f+1 <= n < (d+1)f (Conjecture 1):  ``δ* < max_e ||e||_2 / (⌊n/f⌋ - 2)``
+* L_p transfer (Thm 14):  ``δ*_p < d^(1/2 - 1/p) κ(n,f,d,2) max_e ||e||_p``
+* asynchronous (Thm 15):  replace ``κ(n, ...)`` by ``κ(n - f, ...)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+from ..geometry.norms import max_edge_length, min_edge_length, validate_p
+
+__all__ = [
+    "exact_bvc_min_n",
+    "approx_bvc_min_n",
+    "k_relaxed_exact_min_n",
+    "k_relaxed_approx_min_n",
+    "delta_p_exact_min_n",
+    "delta_p_approx_min_n",
+    "input_dependent_min_n",
+    "is_solvable",
+    "kappa",
+    "theorem9_bound",
+    "theorem12_bound",
+    "conjecture1_bound",
+    "conjecture2_bound",
+    "theorem14_bound",
+    "conjecture3_bound",
+    "theorem15_bound",
+    "conjecture4_bound",
+    "holder_transfer_factor",
+]
+
+PNorm = Union[float, int]
+
+
+def _check_df(d: int, f: int) -> None:
+    if d < 1:
+        raise ValueError(f"dimension d must be >= 1, got {d}")
+    if f < 0:
+        raise ValueError(f"f must be >= 0, got {f}")
+
+
+# ---------------------------------------------------------------------------
+# process-count bounds (Theorems 1-6)
+# ---------------------------------------------------------------------------
+
+def exact_bvc_min_n(d: int, f: int) -> int:
+    """Theorem 1: tight n for exact BVC in a synchronous system."""
+    _check_df(d, f)
+    if f == 0:
+        return 2
+    return max(3 * f + 1, (d + 1) * f + 1)
+
+
+def approx_bvc_min_n(d: int, f: int) -> int:
+    """Theorem 2: tight n for approximate BVC in an asynchronous system."""
+    _check_df(d, f)
+    if f == 0:
+        return 2
+    return max(3 * f + 1, (d + 2) * f + 1)
+
+
+def k_relaxed_exact_min_n(d: int, f: int, k: int) -> int:
+    """Theorem 3 + §5.3: tight n for k-relaxed exact BVC (synchronous)."""
+    _check_df(d, f)
+    if not 1 <= k <= d:
+        raise ValueError(f"need 1 <= k <= d={d}, got k={k}")
+    if f == 0:
+        return 2
+    if k == 1:
+        return 3 * f + 1
+    # 2 <= k <= d: relaxation does not help (Theorem 3); k = d is the
+    # original problem (Theorem 1).
+    return max(3 * f + 1, (d + 1) * f + 1)
+
+
+def k_relaxed_approx_min_n(d: int, f: int, k: int) -> int:
+    """Theorem 4 + §5.3: tight n for k-relaxed approximate BVC (async)."""
+    _check_df(d, f)
+    if not 1 <= k <= d:
+        raise ValueError(f"need 1 <= k <= d={d}, got k={k}")
+    if f == 0:
+        return 2
+    if k == 1:
+        return 3 * f + 1
+    return max(3 * f + 1, (d + 2) * f + 1)
+
+
+def delta_p_exact_min_n(d: int, f: int, delta: float, p: PNorm = 2) -> int:
+    """Theorem 5 + §5.3: tight n for (δ,p)-relaxed exact BVC, constant δ.
+
+    ``δ = 0`` is the original problem; ``0 < δ < ∞`` does not help
+    (Theorem 5); ``δ = ∞`` makes validity vacuous, so any ``n >= 2``
+    suffices (decide a constant).
+    """
+    _check_df(d, f)
+    validate_p(p)
+    if delta < 0:
+        raise ValueError("delta must be >= 0")
+    if f == 0 or math.isinf(delta):
+        return 2
+    return max(3 * f + 1, (d + 1) * f + 1)
+
+
+def delta_p_approx_min_n(d: int, f: int, delta: float, p: PNorm = 2) -> int:
+    """Theorem 6 + §5.3: tight n for (δ,p)-relaxed approximate BVC."""
+    _check_df(d, f)
+    validate_p(p)
+    if delta < 0:
+        raise ValueError("delta must be >= 0")
+    if f == 0 or math.isinf(delta):
+        return 2
+    return max(3 * f + 1, (d + 2) * f + 1)
+
+
+def input_dependent_min_n(f: int) -> int:
+    """Lemma 10: input-dependent (δ,p)-consensus is impossible with
+    ``n <= 3f`` — so ``3f + 1`` is the floor (and §9 shows it can be
+    enough, with δ growing as n shrinks toward it)."""
+    if f < 0:
+        raise ValueError(f"f must be >= 0, got {f}")
+    if f == 0:
+        return 2
+    return 3 * f + 1
+
+
+def is_solvable(problem: str, n: int, d: int, f: int, **kwargs) -> bool:
+    """Uniform feasibility predicate.
+
+    ``problem`` is one of ``"exact"``, ``"approx"``, ``"k-exact"``,
+    ``"k-approx"``, ``"delta-exact"``, ``"delta-approx"``,
+    ``"input-dependent"``; extra parameters (``k``, ``delta``, ``p``) via
+    kwargs.
+    """
+    table = {
+        "exact": lambda: exact_bvc_min_n(d, f),
+        "approx": lambda: approx_bvc_min_n(d, f),
+        "k-exact": lambda: k_relaxed_exact_min_n(d, f, kwargs["k"]),
+        "k-approx": lambda: k_relaxed_approx_min_n(d, f, kwargs["k"]),
+        "delta-exact": lambda: delta_p_exact_min_n(
+            d, f, kwargs["delta"], kwargs.get("p", 2)
+        ),
+        "delta-approx": lambda: delta_p_approx_min_n(
+            d, f, kwargs["delta"], kwargs.get("p", 2)
+        ),
+        "input-dependent": lambda: input_dependent_min_n(f),
+    }
+    if problem not in table:
+        raise ValueError(f"unknown problem {problem!r}")
+    return n >= table[problem]()
+
+
+# ---------------------------------------------------------------------------
+# Table 1: input-dependent δ upper bounds
+# ---------------------------------------------------------------------------
+
+def kappa(n: int, f: int, d: int, p: PNorm = 2) -> float:
+    """The coefficient ``κ(n, f, d, p)`` multiplying ``max_e ||e||_p``.
+
+    Synchronous Table 1 values (with the Conjecture 1/2 extension for
+    ``3f+1 <= n < (d+1)f``), transferred to ``p >= 2`` via Theorem 14's
+    Hölder factor.  Defined for ``3f + 1 <= n <= (d+1)f`` (outside that
+    range δ = 0 is achievable or the problem is unsolvable).
+    """
+    _check_df(d, f)
+    p = validate_p(p)
+    if f < 1:
+        raise ValueError("kappa is defined for f >= 1")
+    if n < 3 * f + 1:
+        raise ValueError(f"unsolvable below 3f+1 (Lemma 10): n={n}, f={f}")
+    if n > (d + 1) * f:
+        return 0.0  # Γ(S) nonempty by Tverberg: δ* = 0
+    if n == (d + 1) * f:
+        base = 1.0 / (n - 2) if f == 1 else 1.0 / (d - 1)
+    else:
+        base = 1.0 / (math.floor(n / f) - 2)  # Conjecture 1
+    return holder_transfer_factor(d, p) * base
+
+
+def holder_transfer_factor(d: int, p: PNorm) -> float:
+    """``d^(1/2 - 1/p)`` for ``p >= 2`` (Theorem 14); 1 for ``p = 2``."""
+    p = validate_p(p)
+    if p < 2:
+        raise ValueError("Theorem 14 transfers bounds for p >= 2 only")
+    inv_p = 0.0 if math.isinf(p) else 1.0 / p
+    return float(d) ** (0.5 - inv_p)
+
+
+def theorem9_bound(honest_inputs: np.ndarray, n: int) -> float:
+    """Theorem 9 (f = 1, 4 <= n <= d+1):
+    ``δ* < min(min-edge/2, max-edge/(n-2))`` under L2."""
+    if n < 4:
+        raise ValueError(f"Theorem 9 needs n >= 4, got {n}")
+    min_e = min_edge_length(honest_inputs, 2)
+    max_e = max_edge_length(honest_inputs, 2)
+    return min(min_e / 2.0, max_e / (n - 2))
+
+
+def theorem12_bound(honest_inputs: np.ndarray, d: int) -> float:
+    """Theorem 12 (f >= 2, n = (d+1)f): ``δ* < max-edge/(d-1)`` under L2."""
+    if d < 2:
+        raise ValueError(f"Theorem 12 needs d >= 2 for a finite bound, got {d}")
+    return max_edge_length(honest_inputs, 2) / (d - 1)
+
+
+def conjecture1_bound(honest_inputs: np.ndarray, n: int, f: int) -> float:
+    """Conjecture 1 (f >= 2, 3f+1 <= n < (d+1)f):
+    ``δ* < max-edge/(⌊n/f⌋ - 2)`` under L2."""
+    denom = math.floor(n / f) - 2
+    if denom <= 0:
+        raise ValueError(f"Conjecture 1 needs ⌊n/f⌋ > 2, got n={n}, f={f}")
+    return max_edge_length(honest_inputs, 2) / denom
+
+
+def conjecture2_bound(honest_inputs: np.ndarray, n: int, f: int) -> float:
+    """Conjecture 2 (uniform, f >= 1, 3f+1 <= n <= (d+1)f): same formula
+    as Conjecture 1 but claimed for all f."""
+    return conjecture1_bound(honest_inputs, n, f)
+
+
+def theorem14_bound(
+    honest_inputs: np.ndarray, n: int, f: int, d: int, p: PNorm, kappa2: float
+) -> float:
+    """Theorem 14: from a κ(n,f,d,2) L2 bound to an L_p bound, p >= 2:
+    ``δ*_p < d^(1/2-1/p) κ2 max-edge_p``."""
+    return holder_transfer_factor(d, p) * kappa2 * max_edge_length(honest_inputs, p)
+
+
+def conjecture3_bound(
+    honest_inputs: np.ndarray, n: int, f: int, d: int, p: PNorm
+) -> float:
+    """Conjecture 3: ``δ*_p < d^(1/2-1/p)/(⌊n/f⌋-2) max-edge_p``."""
+    denom = math.floor(n / f) - 2
+    if denom <= 0:
+        raise ValueError(f"Conjecture 3 needs ⌊n/f⌋ > 2, got n={n}, f={f}")
+    return (
+        holder_transfer_factor(d, p)
+        * max_edge_length(honest_inputs, p)
+        / denom
+    )
+
+
+def theorem15_bound(
+    honest_inputs: np.ndarray, n: int, f: int, d: int, p: PNorm = 2
+) -> float:
+    """Theorem 15 (asynchronous): the synchronous κ at ``n - f`` processes:
+    ``δ*_p < κ(n-f, f, d, p) max-edge_p``."""
+    k = kappa(n - f, f, d, p)
+    return k * max_edge_length(honest_inputs, p)
+
+
+def conjecture4_bound(
+    honest_inputs: np.ndarray, n: int, f: int, d: int, p: PNorm = 2
+) -> float:
+    """Conjecture 4 (async, 3f+1 <= n <= (d+2)f):
+    ``δ*_p < d^(1/2-1/p)/(⌊n/f⌋-3) max-edge_p``."""
+    denom = math.floor(n / f) - 3
+    if denom <= 0:
+        raise ValueError(f"Conjecture 4 needs ⌊n/f⌋ > 3, got n={n}, f={f}")
+    return (
+        holder_transfer_factor(d, p)
+        * max_edge_length(honest_inputs, p)
+        / denom
+    )

@@ -1,0 +1,92 @@
+"""Byzantine Convex Hull Consensus (Tseng & Vaidya — the paper's [15, 16]).
+
+The paper's §2: "A more generalized problem called Convex Hull Consensus
+... The tight bounds on number of processes n is identical to the vector
+consensus case."  Instead of one vector, the processes agree on an entire
+convex *polytope* that is contained in the convex hull of the honest
+inputs — the largest answer any of them can defend.
+
+Synchronous algorithm (the natural exact counterpart of [15]'s
+asynchronous one, and the set-valued sibling of this repo's exact BVC):
+
+* Step 1: all-to-all Byzantine broadcast of the inputs — all correct
+  processes hold the identical multiset ``S``;
+* Step 2: output the polytope ``Γ(S) = ∩_{|T| = n-f} H(T)`` in canonical
+  vertex representation (:func:`repro.geometry.polytope.gamma_polytope`).
+
+Correctness:
+
+* *Agreement* — identical ``S`` and a deterministic, canonicalised
+  polytope computation give the identical output object;
+* *Validity* — ``Γ(S) ⊆ H(T*)`` for the honest subset ``T*``, so the
+  whole output polytope lies in the hull of the honest inputs;
+* *Optimality flavour* — ``Γ(S)`` contains every point that is provably
+  in the honest hull given ``S``, so no correct algorithm can output a
+  strictly larger set (this is the optimality [15] proves for its
+  asynchronous output).
+
+Requires ``n >= max(3f+1, (d+1)f+1)``, exactly like exact BVC (the [16]
+bound the paper quotes).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..geometry.polytope import Polytope, gamma_polytope
+from ..system.process import Context
+from .broadcast_all import BroadcastAllProcess
+
+__all__ = ["ConvexConsensusProcess", "convex_consensus_decision",
+           "check_convex_consensus"]
+
+
+def convex_consensus_decision(S: np.ndarray, f: int) -> Polytope:
+    """Step 2: the canonical ``Γ(S)`` polytope.
+
+    Raises
+    ------
+    ValueError
+        When ``Γ(S)`` is empty (below the ``(d+1)f+1`` bound).
+    """
+    poly = gamma_polytope(np.atleast_2d(np.asarray(S, dtype=float)), f)
+    if poly is None:
+        n, d = np.atleast_2d(S).shape
+        raise ValueError(
+            f"Γ(S) is empty for n={n}, d={d}, f={f}; convex hull consensus "
+            f"requires n >= (d+1)f+1 = {(d + 1) * f + 1}"
+        )
+    return poly
+
+
+class ConvexConsensusProcess(BroadcastAllProcess):
+    """Full synchronous convex-hull-consensus protocol process.
+
+    The decision recorded on the context is the :class:`Polytope`.
+    """
+
+    def decide_from_multiset(self, ctx: Context, S: np.ndarray) -> None:
+        ctx.decide(convex_consensus_decision(S, self.f))
+
+
+def check_convex_consensus(
+    honest_inputs: np.ndarray,
+    decisions: dict[int, Polytope],
+    *,
+    tol: float = 1e-6,
+) -> tuple[bool, bool]:
+    """(agreement_ok, validity_ok) for a convex-consensus outcome.
+
+    Agreement: all decided polytopes are geometrically equal.  Validity:
+    every polytope is contained in the hull of the honest inputs.
+    """
+    polys = list(decisions.values())
+    if not polys:
+        return False, False
+    first = polys[0]
+    agreement = all(first.equals(p, tol) for p in polys[1:])
+    honest = np.atleast_2d(np.asarray(honest_inputs, dtype=float))
+    validity = all(p.is_subset_of_hull(honest, tol) for p in polys)
+    return agreement, validity

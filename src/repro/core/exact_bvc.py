@@ -1,0 +1,54 @@
+"""Exact Byzantine vector consensus — the Vaidya–Garg baseline ([19]).
+
+The algorithm ALGO modifies (§9): Step 1, all-to-all Byzantine broadcast
+of the inputs; Step 2, decide a deterministic point of
+
+.. math::
+
+    Γ(S) = \\bigcap_{T ⊆ S, |T| = n - f} H(T),
+
+which Tverberg's theorem guarantees nonempty when ``n >= (d+1)f + 1``
+(§8).  Agreement holds because all correct processes hold the identical
+broadcast multiset and apply the same deterministic selection; validity
+holds because ``Γ(S) ⊆ H(T*)`` for the subset ``T*`` of actually-honest
+inputs.
+
+This is the δ = 0 baseline every (δ,p) benchmark compares against, and
+the engine for k-relaxed consensus with ``2 <= k <= d``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry.intersections import gamma_point
+from ..system.process import Context
+from .broadcast_all import BroadcastAllProcess
+
+__all__ = ["ExactBVCProcess", "exact_bvc_decision"]
+
+
+def exact_bvc_decision(S: np.ndarray, f: int) -> np.ndarray:
+    """Deterministic point of ``Γ(S)`` (Step 2 of exact BVC).
+
+    Raises
+    ------
+    ValueError
+        When ``Γ(S)`` is empty — i.e. the caller ran the algorithm below
+        the ``(d+1)f + 1`` bound (Theorem 1's necessity side in action).
+    """
+    point = gamma_point(np.atleast_2d(np.asarray(S, dtype=float)), f)
+    if point is None:
+        n, d = np.atleast_2d(S).shape
+        raise ValueError(
+            f"Γ(S) is empty for n={n}, d={d}, f={f}; exact BVC requires "
+            f"n >= (d+1)f+1 = {(d + 1) * f + 1} (Theorem 1)"
+        )
+    return point
+
+
+class ExactBVCProcess(BroadcastAllProcess):
+    """Full synchronous exact-BVC protocol process."""
+
+    def decide_from_multiset(self, ctx: Context, S: np.ndarray) -> None:
+        ctx.decide(exact_bvc_decision(S, self.f))

@@ -1,0 +1,70 @@
+"""k-relaxed Byzantine vector consensus (paper §5.1, §5.3, §6).
+
+The paper's findings, realised as algorithms:
+
+* ``k = 1``: solvable with only ``n >= 3f + 1`` processes by running
+  scalar Byzantine consensus per coordinate (§5.3) — the output's i-th
+  coordinate is in the projected range of the honest i-th coordinates,
+  which is exactly 1-relaxed validity.
+* ``2 <= k <= d``: the relaxation does **not** reduce the bound (Theorem
+  3): ``n >= (d+1)f + 1`` is needed — at which point plain exact BVC
+  already works, and its output is in ``H(N) ⊆ H_k(N)`` (Lemma 1's
+  containment order).  So the sufficiency side *is* the exact algorithm;
+  the necessity side is the :mod:`repro.core.lower_bounds` constructions.
+
+:func:`k_relaxed_decision` dispatches accordingly; the process class wires
+it into the broadcast-all template.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..system.crypto import SignatureScheme
+from ..system.process import Context
+from .broadcast_all import BroadcastAllProcess
+from .exact_bvc import exact_bvc_decision
+from .scalar import scalar_decision_vector
+
+__all__ = ["KRelaxedProcess", "k_relaxed_decision"]
+
+
+def k_relaxed_decision(S: np.ndarray, f: int, k: int) -> np.ndarray:
+    """Decision rule for k-relaxed exact BVC on the agreed multiset.
+
+    ``k = 1`` uses coordinate-wise scalar consensus (valid for ``H_1``);
+    ``k >= 2`` decides a point of ``Γ(S)`` (valid for ``H ⊆ H_k``), which
+    requires ``n >= (d+1)f + 1`` — matching Theorem 3's tight bound.
+    """
+    S = np.atleast_2d(np.asarray(S, dtype=float))
+    d = S.shape[1]
+    if not 1 <= k <= d:
+        raise ValueError(f"need 1 <= k <= d={d}, got k={k}")
+    if k == 1:
+        return scalar_decision_vector(S, f)
+    return exact_bvc_decision(S, f)
+
+
+class KRelaxedProcess(BroadcastAllProcess):
+    """Full synchronous k-relaxed exact BVC protocol process."""
+
+    def __init__(
+        self,
+        n: int,
+        f: int,
+        pid: int,
+        input_value: np.ndarray,
+        *,
+        k: int,
+        transport: str = "eig",
+        scheme: Optional[SignatureScheme] = None,
+    ):
+        super().__init__(n, f, pid, input_value, transport=transport, scheme=scheme)
+        if not 1 <= k <= self.d:
+            raise ValueError(f"need 1 <= k <= d={self.d}, got k={k}")
+        self.k = k
+
+    def decide_from_multiset(self, ctx: Context, S: np.ndarray) -> None:
+        ctx.decide(k_relaxed_decision(S, self.f, self.k))

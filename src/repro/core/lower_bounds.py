@@ -1,0 +1,231 @@
+"""The impossibility constructions from the paper's proofs, executable.
+
+Each necessity proof exhibits a concrete input matrix and shows that any
+algorithm's output set is empty (exact problems) or forced into
+disagreement (approximate problems).  This module builds those matrices
+and computes the verdicts *numerically* — the benchmarks then confirm the
+proofs' conclusions hold exactly where the theorems say they do (and stop
+holding one process above the bound).
+
+* :func:`theorem3_inputs` / :func:`theorem3_verdict` — §6.1: ``n = d+1``
+  inputs making ``Ψ(Y) = ∩_T H_k(T)`` empty for ``k = 2`` (hence all
+  ``k >= 2`` by Lemma 2), ``f = 1``.
+* :func:`theorem5_inputs` / :func:`theorem5_verdict` — §7.1: scaled
+  standard basis + origin making ``∩_T H_{(δ,∞)}(T)`` empty whenever
+  ``x > 2dδ``.
+* :func:`theorem4_inputs` / :func:`theorem4_verdict` — Appendix B: the
+  asynchronous construction forcing any two processes' admissible output
+  sets ``Ψ_1, Ψ_2`` at L_inf distance >= 2ε apart (ε-agreement violated).
+* :func:`theorem6_inputs` / :func:`theorem6_verdict` — Appendix C: same
+  for constant-δ approximate consensus, separation > ε when
+  ``x > 2dδ + ε``.
+
+The per-process admissible output sets of the asynchronous proofs,
+
+.. math::
+
+    Ψ_i(S) = \\bigcap_{j \\ne i,\\ 1 \\le j \\le d+1} H_\\bullet(S^j),
+
+(where ``S^j`` drops input ``j`` and the always-droppable slow process
+``d+2``) are encoded as joint LPs; the minimum separation
+``min ||v_1 - v_2||_inf`` over ``v_i ∈ Ψ_i`` is itself one LP
+(:meth:`repro.geometry.intersections.HullSystem.minimize_pair_linf`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..geometry.intersections import HullSystem, gamma_delta_p
+from ..geometry.projection import enumerate_coordinate_subsets, project_multiset
+
+__all__ = [
+    "theorem3_inputs",
+    "theorem3_verdict",
+    "theorem4_inputs",
+    "theorem4_verdict",
+    "theorem5_inputs",
+    "theorem5_verdict",
+    "theorem6_inputs",
+    "theorem6_verdict",
+    "psi_i_separation",
+]
+
+
+# ---------------------------------------------------------------------------
+# input matrices (inputs as rows, one per process)
+# ---------------------------------------------------------------------------
+
+def theorem3_inputs(d: int, gamma: float = 1.0, eps: float = 0.5) -> np.ndarray:
+    """The ``d x (d+1)`` matrix S of Theorem 3 (inputs as rows).
+
+    Column ``i`` (0-based): zeros above the diagonal, ``γ`` on it, ``ε``
+    below; column ``d``: all ``-γ``.  Requires ``0 < ε <= γ`` and
+    ``d >= 3`` (the theorem's regime).
+    """
+    if d < 3:
+        raise ValueError(f"Theorem 3 needs d >= 3, got {d}")
+    if not 0 < eps <= gamma:
+        raise ValueError(f"need 0 < ε <= γ, got ε={eps}, γ={gamma}")
+    S = np.zeros((d, d + 1))
+    for i in range(d):
+        S[i, i] = gamma
+        S[i + 1 :, i] = eps
+    S[:, d] = -gamma
+    return S.T
+
+
+def theorem4_inputs(d: int, gamma: float = 1.0, eps: float = 0.2) -> np.ndarray:
+    """The ``d x (d+2)`` matrix of Theorem 4 / Appendix B (inputs as rows).
+
+    Like Theorem 3's matrix with sub-diagonal entries ``2ε`` (requiring
+    ``0 < 2ε < γ``), plus an all-zero column for process ``d+2``.
+    """
+    if d < 3:
+        raise ValueError(f"Theorem 4 needs d >= 3, got {d}")
+    if not 0 < 2 * eps < gamma:
+        raise ValueError(f"need 0 < 2ε < γ, got ε={eps}, γ={gamma}")
+    S = np.zeros((d, d + 2))
+    for i in range(d):
+        S[i, i] = gamma
+        S[i + 1 :, i] = 2 * eps
+    S[:, d] = -gamma
+    # column d+1 stays all zero
+    return S.T
+
+
+def theorem5_inputs(d: int, x: float) -> np.ndarray:
+    """The ``d x (d+1)`` matrix of Theorem 5: ``x``-scaled basis + origin."""
+    if d < 2:
+        raise ValueError(f"Theorem 5 needs d >= 2, got {d}")
+    if x <= 0:
+        raise ValueError(f"need x > 0, got {x}")
+    S = np.zeros((d + 1, d))
+    S[:d] = np.eye(d) * x
+    return S
+
+
+def theorem6_inputs(d: int, x: float) -> np.ndarray:
+    """The ``d x (d+2)`` matrix of Theorem 6 / Appendix C."""
+    if d < 2:
+        raise ValueError(f"Theorem 6 needs d >= 2, got {d}")
+    if x <= 0:
+        raise ValueError(f"need x > 0, got {x}")
+    S = np.zeros((d + 2, d))
+    S[:d] = np.eye(d) * x
+    return S
+
+
+# ---------------------------------------------------------------------------
+# verdicts
+# ---------------------------------------------------------------------------
+
+def theorem3_verdict(d: int, k: int = 2, gamma: float = 1.0, eps: float = 0.5) -> bool:
+    """True iff ``Ψ(Y) = ∩_{|T|=d} H_k(T)`` is empty for the Thm-3 inputs.
+
+    The theorem asserts emptiness for ``2 <= k <= d-1`` with ``n = d+1``
+    and ``f = 1`` — i.e. ``n = (d+1)f`` processes do not suffice.
+    """
+    from ..geometry.intersections import psi_k_point
+
+    Y = theorem3_inputs(d, gamma, eps)
+    return psi_k_point(Y, f=1, k=k) is None
+
+
+def theorem5_verdict(d: int, delta: float, x: Optional[float] = None) -> bool:
+    """True iff ``∩_T H_{(δ,∞)}(T)`` is empty for the Thm-5 inputs.
+
+    The proof requires ``x > 2dδ``; by default ``x = 2dδ · 1.5``.  With
+    ``x <= 2dδ`` the intersection is *nonempty* — the verdict function
+    lets benchmarks exhibit both sides of the threshold.
+    """
+    if x is None:
+        x = 3.0 * d * delta if delta > 0 else 1.0
+    S = theorem5_inputs(d, x)
+    return not gamma_delta_p(S, f=1, delta=delta, p=math.inf)
+
+
+def _psi_i_system(
+    inputs: np.ndarray,
+    i: int,
+    system: HullSystem,
+    offset: int,
+    *,
+    k: Optional[int] = None,
+    delta: float = 0.0,
+) -> None:
+    """Add the Ψ_i constraints for output variables at ``offset..offset+d``.
+
+    ``inputs`` is the ``(d+2, d)`` matrix; Ψ_i intersects over ``S^j``
+    for ``j != i`` in the first ``d+1`` processes, each ``S^j`` dropping
+    inputs ``j`` and ``d+2``.  ``k`` selects the k-relaxed hulls (Appendix
+    B); ``delta`` selects the (δ,∞)-relaxed hulls (Appendix C).
+    """
+    n, d = inputs.shape
+    assert n == d + 2
+    coords = list(range(offset, offset + d))
+    for j in range(d + 1):
+        if j == i:
+            continue
+        Sj = np.delete(inputs[: d + 1], j, axis=0)
+        if k is not None:
+            for D in enumerate_coordinate_subsets(d, k):
+                system.add_hull_constraint(
+                    project_multiset(Sj, D), coords=[coords[c] for c in D]
+                )
+        else:
+            system.add_hull_constraint(Sj, coords=coords, delta=delta, p=math.inf)
+
+
+def psi_i_separation(
+    inputs: np.ndarray, *, k: Optional[int] = None, delta: float = 0.0
+) -> Optional[float]:
+    """Minimum ``||v1 - v2||_inf`` with ``v1 ∈ Ψ_1`` and ``v2 ∈ Ψ_2``.
+
+    ``Ψ_1``/``Ψ_2`` are the admissible output sets of processes 1 and 2
+    in the asynchronous necessity proofs.  None when either set is empty
+    (an even stronger impossibility).
+    """
+    inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
+    n, d = inputs.shape
+    if n != d + 2:
+        raise ValueError(f"expected d+2={d + 2} inputs, got {n}")
+    system = HullSystem(2 * d)
+    _psi_i_system(inputs, 0, system, 0, k=k, delta=delta)
+    _psi_i_system(inputs, 1, system, d, k=k, delta=delta)
+    result = system.minimize_pair_linf(d)
+    if result is None:
+        return None
+    return result[0]
+
+
+def theorem4_verdict(
+    d: int, k: int = 2, gamma: float = 1.0, eps: float = 0.2
+) -> tuple[Optional[float], float]:
+    """(forced separation, required 2ε) for the Appendix-B construction.
+
+    The proof shows any algorithm's outputs at processes 1 and 2 satisfy
+    ``||v1 - v2||_inf >= 2ε`` — so ε-agreement is impossible with
+    ``n = d+2 = (d+2)f`` processes.  Returns the numerically-computed
+    minimum separation (None if a Ψ set is empty) and the threshold.
+    """
+    inputs = theorem4_inputs(d, gamma, eps)
+    sep = psi_i_separation(inputs, k=k)
+    return sep, 2 * eps
+
+
+def theorem6_verdict(
+    d: int, delta: float, eps: float, x: Optional[float] = None
+) -> tuple[Optional[float], float]:
+    """(forced separation, required ε) for the Appendix-C construction.
+
+    With ``x > 2dδ + ε`` the proof forces ``||v1 - v2||_inf > ε``.
+    """
+    if x is None:
+        x = 2 * d * delta + 2 * eps
+    inputs = theorem6_inputs(d, x)
+    sep = psi_i_separation(inputs, delta=delta)
+    return sep, eps

@@ -1,0 +1,65 @@
+"""Exact scalar Byzantine consensus (the d = 1 base case, and the engine
+behind 1-relaxed consensus).
+
+§5.3: "When k = 1, the k-relaxed consensus can be achieved using Byzantine
+scalar consensus ... the input of each process is the i-th coordinate of
+its input vector."  The classical tight bound is ``n >= 3f + 1`` ([7]).
+
+Decision rule on the agreed multiset (after all-to-all Byzantine
+broadcast): sort the ``n`` values, discard the ``f`` smallest and ``f``
+largest, and take the midpoint of the survivors' range.
+
+* *Agreement*: every correct process applies the same deterministic rule
+  to the identical broadcast multiset.
+* *Validity*: at most ``f`` of the ``n`` values are faulty; after trimming
+  ``f`` from each end, every survivor is bracketed by honest values, so
+  the midpoint lies in ``[min honest, max honest]`` — the convex hull of
+  the honest scalar inputs.  Nonempty because ``n - 2f >= f + 1 >= 1``
+  when ``n >= 3f + 1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..system.process import Context
+from .broadcast_all import BroadcastAllProcess
+
+__all__ = ["scalar_decision", "trimmed_multiset", "ScalarConsensusProcess"]
+
+
+def trimmed_multiset(values: np.ndarray, f: int) -> np.ndarray:
+    """Sort and discard the ``f`` smallest and ``f`` largest entries."""
+    vals = np.sort(np.asarray(values, dtype=float).ravel())
+    n = vals.size
+    if n <= 2 * f:
+        raise ValueError(f"cannot trim 2f={2 * f} from {n} values")
+    return vals[f : n - f]
+
+
+def scalar_decision(values: np.ndarray, f: int) -> float:
+    """Midpoint of the f-trimmed range — the deterministic decision rule."""
+    core = trimmed_multiset(values, f)
+    return float((core[0] + core[-1]) / 2.0)
+
+
+def scalar_decision_vector(S: np.ndarray, f: int) -> np.ndarray:
+    """Coordinate-wise scalar decisions on an ``(n, d)`` multiset.
+
+    This is exactly the §5.3 reduction that solves 1-relaxed BVC: the
+    output's i-th coordinate is the scalar consensus on the i-th
+    coordinates.
+    """
+    S = np.atleast_2d(np.asarray(S, dtype=float))
+    return np.array([scalar_decision(S[:, j], f) for j in range(S.shape[1])])
+
+
+class ScalarConsensusProcess(BroadcastAllProcess):
+    """Full protocol: broadcast scalar inputs, decide the trimmed midpoint.
+
+    Inputs are passed as 1-vectors; the decision is a 1-vector too, to
+    keep the vector-consensus interfaces uniform.
+    """
+
+    def decide_from_multiset(self, ctx: Context, S: np.ndarray) -> None:
+        ctx.decide(scalar_decision_vector(S, self.f))

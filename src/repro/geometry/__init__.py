@@ -1,0 +1,138 @@
+"""Geometric substrate for relaxed Byzantine vector consensus.
+
+Everything the paper's definitions and proofs consume: L_p norms, convex
+hulls robust to degeneracy, point-to-hull distances, coordinate projections,
+the relaxed hulls ``H_k`` and ``H_{(δ,p)}``, the hull-intersection operators
+``Γ`` / ``Ψ``, the certified ``δ*(S)`` min-max solver, simplex in-sphere
+geometry (Lemmas 11–15), and Radon/Tverberg partitions (§8).
+"""
+
+from .distance import (
+    HullProjection,
+    convex_combination_weights,
+    distance_l1,
+    distance_linf,
+    distance_to_hull,
+    in_hull,
+    nearest_point_l2,
+)
+from .halfspaces import Halfspace, hull_halfspaces, separating_halfspace, supporting_halfspace
+from .hull import Hull, affine_basis, affine_dimension
+from .intersections import (
+    f_subsets,
+    gamma,
+    gamma_delta_p,
+    gamma_delta_p_point,
+    gamma_point,
+    intersect_hulls,
+    intersection_point,
+    psi_k,
+    psi_k_point,
+)
+from .minimax import DeltaStarResult, delta_star, max_subset_distance
+from .norms import (
+    holder_upper_factor,
+    lp_distance,
+    lp_norm,
+    max_edge_length,
+    min_edge_length,
+    norm_equivalence_bounds,
+    pairwise_lp_distances,
+    validate_p,
+)
+from .polytope import (
+    Polytope,
+    convex_polygon_clip,
+    gamma_polytope,
+    intersect_hulls_polytope,
+    polygon_vertices,
+)
+from .projection import Cylinder, enumerate_coordinate_subsets, project, project_multiset
+from .relaxed import DeltaPHull, KRelaxedHull
+from .simplex import (
+    facet_inradius,
+    facet_points,
+    incenter,
+    incenter_and_inradius,
+    inradius,
+    is_affinely_independent,
+    simplex_b_vectors,
+    vertex_facet_distances,
+)
+from .simplex_proj import project_rows_to_simplex, project_to_simplex
+from .tverberg import (
+    RadonPartition,
+    TverbergPartition,
+    has_tverberg_partition,
+    iter_set_partitions,
+    partition_intersection_nonempty,
+    radon_partition,
+    tverberg_partition,
+    tverberg_point,
+)
+
+__all__ = [
+    "Cylinder",
+    "DeltaPHull",
+    "DeltaStarResult",
+    "Halfspace",
+    "Hull",
+    "HullProjection",
+    "KRelaxedHull",
+    "Polytope",
+    "RadonPartition",
+    "TverbergPartition",
+    "affine_basis",
+    "affine_dimension",
+    "convex_combination_weights",
+    "delta_star",
+    "distance_l1",
+    "distance_linf",
+    "distance_to_hull",
+    "enumerate_coordinate_subsets",
+    "f_subsets",
+    "facet_inradius",
+    "facet_points",
+    "gamma",
+    "gamma_delta_p",
+    "convex_polygon_clip",
+    "gamma_delta_p_point",
+    "gamma_point",
+    "gamma_polytope",
+    "has_tverberg_partition",
+    "intersect_hulls_polytope",
+    "polygon_vertices",
+    "holder_upper_factor",
+    "hull_halfspaces",
+    "in_hull",
+    "incenter",
+    "incenter_and_inradius",
+    "inradius",
+    "intersect_hulls",
+    "intersection_point",
+    "is_affinely_independent",
+    "iter_set_partitions",
+    "lp_distance",
+    "lp_norm",
+    "max_edge_length",
+    "max_subset_distance",
+    "min_edge_length",
+    "nearest_point_l2",
+    "norm_equivalence_bounds",
+    "pairwise_lp_distances",
+    "partition_intersection_nonempty",
+    "project",
+    "project_multiset",
+    "project_rows_to_simplex",
+    "project_to_simplex",
+    "psi_k",
+    "psi_k_point",
+    "radon_partition",
+    "separating_halfspace",
+    "simplex_b_vectors",
+    "supporting_halfspace",
+    "tverberg_partition",
+    "tverberg_point",
+    "validate_p",
+    "vertex_facet_distances",
+]

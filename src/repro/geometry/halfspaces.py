@@ -1,0 +1,93 @@
+"""Supporting and separating hyperplanes for convex hulls.
+
+The impossibility arguments of the paper repeatedly reason with supporting
+hyperplanes (e.g. Case 1 of Theorem 12 picks the supporting hyperplane
+``π^i`` of ``Q_i`` at the nearest point to ``p0``).  These helpers expose
+that construction numerically, plus the full H-representation for
+full-dimensional hulls via Qhull.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy.spatial import ConvexHull as _Qhull
+from scipy.spatial import QhullError
+
+from .distance import nearest_point_l2
+
+__all__ = ["Halfspace", "separating_halfspace", "hull_halfspaces", "supporting_halfspace"]
+
+
+@dataclass(frozen=True)
+class Halfspace:
+    """The halfspace ``{ y : <normal, y> <= offset }`` (unit normal)."""
+
+    normal: np.ndarray
+    offset: float
+
+    def contains(self, y: np.ndarray, tol: float = 1e-9) -> bool:
+        """Membership test with tolerance."""
+        return float(self.normal @ np.asarray(y, dtype=float)) <= self.offset + tol
+
+    def signed_distance(self, y: np.ndarray) -> float:
+        """``<normal, y> - offset``; positive outside the halfspace."""
+        return float(self.normal @ np.asarray(y, dtype=float)) - self.offset
+
+
+def separating_halfspace(
+    points: np.ndarray, x: np.ndarray, tol: float = 1e-9
+) -> Optional[Halfspace]:
+    """A halfspace containing ``H(points)`` but not ``x`` (None if ``x`` is
+    inside).
+
+    Built from the Euclidean projection ``y*`` of ``x``: the normal is
+    ``(x - y*) / ||x - y*||`` and the offset is the support value of the
+    hull in that direction, so the hull is contained and ``x`` is at
+    distance ``dist_2(x, H)`` outside.
+    """
+    pts = np.atleast_2d(np.asarray(points, dtype=float))
+    xv = np.asarray(x, dtype=float).ravel()
+    proj = nearest_point_l2(pts, xv)
+    if proj.distance <= tol:
+        return None
+    normal = (xv - proj.point) / proj.distance
+    offset = float(np.max(pts @ normal))
+    return Halfspace(normal, offset)
+
+
+def supporting_halfspace(points: np.ndarray, direction: np.ndarray) -> Halfspace:
+    """Supporting halfspace of ``H(points)`` with outer normal ``direction``."""
+    pts = np.atleast_2d(np.asarray(points, dtype=float))
+    g = np.asarray(direction, dtype=float).ravel()
+    nrm = float(np.linalg.norm(g))
+    if nrm == 0:
+        raise ValueError("direction must be nonzero")
+    g = g / nrm
+    return Halfspace(g, float(np.max(pts @ g)))
+
+
+def hull_halfspaces(points: np.ndarray) -> list[Halfspace]:
+    """H-representation of a full-dimensional hull (Qhull facets).
+
+    Raises
+    ------
+    ValueError
+        If the hull is degenerate (use the affine-reduction in
+        :class:`repro.geometry.hull.Hull` first).
+    """
+    pts = np.atleast_2d(np.asarray(points, dtype=float))
+    try:
+        q = _Qhull(pts)
+    except QhullError as exc:
+        raise ValueError(
+            "hull is degenerate or too small for an H-representation"
+        ) from exc
+    out = []
+    for eq in q.equations:  # each row: normal·y + offset <= 0
+        normal = eq[:-1]
+        nrm = float(np.linalg.norm(normal))
+        out.append(Halfspace(normal / nrm, float(-eq[-1]) / nrm))
+    return out

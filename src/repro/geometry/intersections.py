@@ -1,0 +1,422 @@
+"""Intersections of (relaxed) hulls: the paper's ``Γ`` and ``Ψ`` operators.
+
+For a multiset ``Y`` with ``|Y| >= f`` the paper defines (§3):
+
+.. math::
+
+    Γ(Y) = \\bigcap_{T ⊆ Y, |T| = |Y| - f} H(T)
+
+— the set of points guaranteed to be in the convex hull of the non-faulty
+inputs *whichever* ``f`` inputs are faulty.  Exact BVC decides a point of
+``Γ``; Tverberg's theorem makes it nonempty when ``|Y| >= (d+1)f + 1``.
+
+The k-relaxed analogue from the proof of Theorem 3:
+
+.. math::
+
+    Ψ(Y) = \\bigcap_{T} H_k(T) = \\bigcap_{D ∈ D_k, T} g_D^{-1}(H(g_D(T)))
+
+and the (δ,p)-relaxed analogue used by algorithm ALGO (§9):
+
+.. math::
+
+    Γ_{(δ,p)}(S) = \\bigcap_{T ⊆ S, |T| = |S| - f} H_{(δ,p)}(T).
+
+All the emptiness questions are convex feasibility problems.  For hull and
+cylinder intersections (and for ``p ∈ {1, ∞}``) they are *linear* programs,
+solved exactly with HiGHS; ``p = 2`` feasibility is delegated to the
+min-max solver in :mod:`repro.geometry.minimax`.
+
+Deterministic point selection — the paper's algorithms require every
+non-faulty process to "deterministically choose a point" from these sets —
+is implemented as a lexicographic-minimum sequence of LPs, which is a pure
+function of the input multiset.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
+from scipy.optimize import linprog
+
+from .norms import validate_p
+from .projection import enumerate_coordinate_subsets, project_multiset
+
+__all__ = [
+    "HullSystem",
+    "f_subsets",
+    "intersect_hulls",
+    "intersection_point",
+    "gamma",
+    "gamma_point",
+    "psi_k",
+    "psi_k_point",
+    "gamma_delta_p",
+    "gamma_delta_p_point",
+]
+
+PNorm = Union[float, int]
+
+_LEX_SLACK = 1e-8
+
+
+class _HullSystem:
+    """Incrementally-built LP encoding ``x ∈ ∩_i H_{(δ_i, p_i)}(A_i)``.
+
+    Variables are laid out as ``[x (d), block_1, block_2, ...]`` where each
+    block holds the convex weights (plus L1 slack variables when needed)
+    for one hull constraint.  ``δ_i = 0`` encodes plain hull membership;
+    δ > 0 with p ∈ {1, inf} encodes fattened membership.  Projection
+    constraints (cylinders) restrict only a coordinate subset of ``x``.
+    """
+
+    def __init__(self, d: int):
+        self.d = d
+        self.n_extra = 0
+        self.rows_eq: list[tuple[np.ndarray, float]] = []
+        self.rows_ub: list[tuple[np.ndarray, float]] = []
+        self.blocks: list[tuple[int, int]] = []  # (offset, size) per block
+
+    # -- variable bookkeeping ------------------------------------------------
+    def _alloc(self, size: int) -> int:
+        off = self.d + self.n_extra
+        self.n_extra += size
+        self.blocks.append((off, size))
+        return off
+
+    def _row(self) -> np.ndarray:
+        return np.zeros(self.d + self.n_extra)
+
+    def add_hull_constraint(
+        self,
+        pts: np.ndarray,
+        coords: Optional[Sequence[int]] = None,
+        delta: float = 0.0,
+        p: PNorm = math.inf,
+    ) -> None:
+        """Require ``dist_p(x[coords], H(pts)) <= delta``.
+
+        ``pts`` is ``(m, k)`` with ``k = len(coords)`` (``coords`` defaults
+        to all coordinates).  ``delta = 0`` gives exact membership; for
+        ``delta > 0`` only ``p ∈ {1, inf}`` are linear.
+        """
+        pts = np.atleast_2d(np.asarray(pts, dtype=float))
+        m, k = pts.shape
+        if coords is None:
+            coords = list(range(self.d))
+        coords = list(coords)
+        if len(coords) != k:
+            raise ValueError(f"{len(coords)} coords vs point dim {k}")
+        if delta < 0:
+            raise ValueError("delta must be >= 0")
+        p = validate_p(p)
+        if delta > 0 and not (p == 1.0 or math.isinf(p)):
+            raise ValueError("linear encoding needs p in {1, inf} when delta > 0")
+
+        lam_off = self._alloc(m)
+        use_l1_slack = delta > 0 and p == 1.0
+        s_off = self._alloc(k) if use_l1_slack else None
+
+        n_now = self.d + self.n_extra
+
+        def pad(row: np.ndarray) -> np.ndarray:
+            out = np.zeros(n_now)
+            out[: row.size] = row
+            return out
+
+        # Re-pad previously recorded rows lazily at assembly time instead:
+        # we record rows at current width and pad during assemble().
+
+        # sum(lam) == 1
+        row = np.zeros(n_now)
+        row[lam_off : lam_off + m] = 1.0
+        self.rows_eq.append((row, 1.0))
+
+        if delta == 0.0:
+            # x[coords] - pts.T @ lam == 0
+            for j in range(k):
+                row = np.zeros(n_now)
+                row[coords[j]] = 1.0
+                row[lam_off : lam_off + m] = -pts[:, j]
+                self.rows_eq.append((row, 0.0))
+        elif math.isinf(p):
+            # |x[coords] - pts.T @ lam| <= delta componentwise
+            for j in range(k):
+                row = np.zeros(n_now)
+                row[coords[j]] = 1.0
+                row[lam_off : lam_off + m] = -pts[:, j]
+                self.rows_ub.append((row, delta))
+                self.rows_ub.append((-row, delta))
+        else:  # p == 1 with slack s: |resid_j| <= s_j, sum s <= delta
+            assert s_off is not None
+            for j in range(k):
+                row = np.zeros(n_now)
+                row[coords[j]] = 1.0
+                row[lam_off : lam_off + m] = -pts[:, j]
+                row[s_off + j] = -1.0
+                self.rows_ub.append((row, 0.0))
+                row2 = np.zeros(n_now)
+                row2[coords[j]] = -1.0
+                row2[lam_off : lam_off + m] = pts[:, j]
+                row2[s_off + j] = -1.0
+                self.rows_ub.append((row2, 0.0))
+            row = np.zeros(n_now)
+            row[s_off : s_off + k] = 1.0
+            self.rows_ub.append((row, delta))
+        _ = pad  # silence linters; rows already use current width
+
+    # -- assembly & solving ---------------------------------------------------
+    def _assemble(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, list]:
+        n = self.d + self.n_extra
+
+        def padded(rows: list[tuple[np.ndarray, float]]):
+            if not rows:
+                return np.zeros((0, n)), np.zeros(0)
+            A = np.zeros((len(rows), n))
+            b = np.zeros(len(rows))
+            for i, (row, rhs) in enumerate(rows):
+                A[i, : row.size] = row
+                b[i] = rhs
+            return A, b
+
+        A_eq, b_eq = padded(self.rows_eq)
+        A_ub, b_ub = padded(self.rows_ub)
+        bounds = [(None, None)] * self.d + [(0.0, None)] * self.n_extra
+        return A_eq, b_eq, A_ub, b_ub, bounds
+
+    def solve(self, objective: Optional[np.ndarray] = None) -> Optional[np.ndarray]:
+        """Solve the LP; returns the full variable vector or None if infeasible."""
+        A_eq, b_eq, A_ub, b_ub, bounds = self._assemble()
+        n = self.d + self.n_extra
+        c = np.zeros(n)
+        if objective is not None:
+            c[: objective.size] = objective
+        res = linprog(
+            c,
+            A_ub=A_ub if A_ub.size else None,
+            b_ub=b_ub if b_ub.size else None,
+            A_eq=A_eq if A_eq.size else None,
+            b_eq=b_eq if b_eq.size else None,
+            bounds=bounds,
+            method="highs",
+        )
+        if not res.success:
+            return None
+        return np.asarray(res.x)
+
+    def feasible(self) -> bool:
+        return self.solve() is not None
+
+    def minimize_pair_linf(self, d: int) -> Optional[tuple[float, np.ndarray]]:
+        """Minimise ``||x[:d] - x[d:2d]||_inf`` over the feasible set.
+
+        Used by the impossibility demonstrations (Appendices B and C): the
+        system's first ``2d`` variables encode two candidate outputs
+        ``(v1, v2)`` under different constraint sets, and the minimum
+        achievable L_inf separation lower-bounds the disagreement any
+        algorithm is forced into.  Returns ``(min_separation, full_x)`` or
+        None when the system is infeasible.
+        """
+        if self.d < 2 * d:
+            raise ValueError(f"system has {self.d} point vars, need >= {2 * d}")
+        A_eq, b_eq, A_ub, b_ub, bounds = self._assemble()
+        n = self.d + self.n_extra
+        # extend every row with a zero column for t, add |v1_j - v2_j| <= t
+        def widen(A: np.ndarray) -> np.ndarray:
+            return np.hstack([A, np.zeros((A.shape[0], 1))]) if A.size else np.zeros((0, n + 1))
+
+        extra = []
+        for j in range(d):
+            row = np.zeros(n + 1)
+            row[j] = 1.0
+            row[d + j] = -1.0
+            row[n] = -1.0
+            extra.append(row)
+            row2 = np.zeros(n + 1)
+            row2[j] = -1.0
+            row2[d + j] = 1.0
+            row2[n] = -1.0
+            extra.append(row2)
+        A_ub2 = np.vstack([widen(A_ub)] + [np.array(extra)]) if extra else widen(A_ub)
+        b_ub2 = np.concatenate([b_ub, np.zeros(2 * d)])
+        c = np.zeros(n + 1)
+        c[n] = 1.0
+        res = linprog(
+            c,
+            A_ub=A_ub2,
+            b_ub=b_ub2,
+            A_eq=widen(A_eq) if A_eq.size else None,
+            b_eq=b_eq if A_eq.size else None,
+            bounds=list(bounds) + [(0.0, None)],
+            method="highs",
+        )
+        if not res.success:
+            return None
+        return float(res.x[n]), np.asarray(res.x[: self.d])
+
+    def lexicographic_point(self) -> Optional[np.ndarray]:
+        """Lexicographically-minimal ``x`` in the feasible set (or None).
+
+        Minimises ``x[0]``, then pins ``x[0]`` (with a small slack to stay
+        numerically feasible) and minimises ``x[1]``, and so on.  Pure
+        function of the constraint system, hence identical at every
+        process given identical inputs — the "deterministic choice" the
+        paper's algorithms require.
+        """
+        sol = self.solve()
+        if sol is None:
+            return None
+        for j in range(self.d):
+            obj = np.zeros(self.d)
+            obj[j] = 1.0
+            sol_j = self.solve(obj)
+            if sol_j is None:  # pragma: no cover - monotone pinning stays feasible
+                break
+            opt = sol_j[j]
+            row = np.zeros(self.d + self.n_extra)
+            row[j] = 1.0
+            self.rows_ub.append((row, opt + _LEX_SLACK))
+            sol = sol_j
+        return sol[: self.d]
+
+
+#: Public alias — the incremental LP builder is reusable by callers that
+#: need custom combinations of hull/cylinder constraints (e.g. the
+#: impossibility demonstrations in :mod:`repro.core.lower_bounds`).
+HullSystem = _HullSystem
+
+
+# ---------------------------------------------------------------------------
+# subset enumeration
+# ---------------------------------------------------------------------------
+
+def f_subsets(n: int, f: int) -> list[tuple[int, ...]]:
+    """Index tuples of every size ``n - f`` subset of ``range(n)``.
+
+    These index the multisets ``T ⊆ Y`` with ``|T| = |Y| - f`` from the
+    paper's ``Γ`` definition.
+    """
+    if f < 0 or f > n:
+        raise ValueError(f"need 0 <= f <= n, got n={n}, f={f}")
+    return list(combinations(range(n), n - f))
+
+
+# ---------------------------------------------------------------------------
+# plain hull intersections
+# ---------------------------------------------------------------------------
+
+def intersect_hulls(point_sets: Iterable[np.ndarray]) -> bool:
+    """True iff ``∩_i H(A_i)`` is nonempty (joint LP feasibility)."""
+    return intersection_point(point_sets) is not None
+
+
+def intersection_point(point_sets: Iterable[np.ndarray]) -> Optional[np.ndarray]:
+    """A deterministic point of ``∩_i H(A_i)``, or None when empty."""
+    sets = [np.atleast_2d(np.asarray(A, dtype=float)) for A in point_sets]
+    if not sets:
+        raise ValueError("need at least one hull")
+    d = sets[0].shape[1]
+    if any(A.shape[1] != d for A in sets):
+        raise ValueError("all hulls must share the ambient dimension")
+    sys_ = _HullSystem(d)
+    for A in sets:
+        sys_.add_hull_constraint(A)
+    return sys_.lexicographic_point()
+
+
+def gamma(Y: np.ndarray, f: int) -> bool:
+    """Nonemptiness of ``Γ(Y) = ∩_{|T| = |Y|-f} H(T)``."""
+    return gamma_point(Y, f) is not None
+
+
+def gamma_point(Y: np.ndarray, f: int) -> Optional[np.ndarray]:
+    """Deterministic point of ``Γ(Y)``, or None when ``Γ(Y)`` is empty."""
+    Y = np.atleast_2d(np.asarray(Y, dtype=float))
+    n = Y.shape[0]
+    sys_ = _HullSystem(Y.shape[1])
+    for T in f_subsets(n, f):
+        sys_.add_hull_constraint(Y[list(T)])
+    return sys_.lexicographic_point()
+
+
+# ---------------------------------------------------------------------------
+# k-relaxed: Ψ(Y)
+# ---------------------------------------------------------------------------
+
+def psi_k(Y: np.ndarray, f: int, k: int) -> bool:
+    """Nonemptiness of ``Ψ(Y) = ∩_T H_k(T)`` (proof of Theorem 3)."""
+    return psi_k_point(Y, f, k) is not None
+
+
+def psi_k_point(Y: np.ndarray, f: int, k: int) -> Optional[np.ndarray]:
+    """Deterministic point of ``Ψ(Y)``, or None when empty.
+
+    Encodes every (D, T) cylinder constraint into one joint LP:
+    for each ``D ∈ D_k`` and each size ``|Y|-f`` subset ``T``,
+    ``g_D(x) ∈ H(g_D(T))``.
+    """
+    Y = np.atleast_2d(np.asarray(Y, dtype=float))
+    n, d = Y.shape
+    if not 1 <= k <= d:
+        raise ValueError(f"need 1 <= k <= d={d}, got k={k}")
+    sys_ = _HullSystem(d)
+    subsets = f_subsets(n, f)
+    for D in enumerate_coordinate_subsets(d, k):
+        for T in subsets:
+            sys_.add_hull_constraint(
+                project_multiset(Y[list(T)], D), coords=list(D)
+            )
+    return sys_.lexicographic_point()
+
+
+# ---------------------------------------------------------------------------
+# (δ,p)-relaxed: Γ_{(δ,p)}(S)
+# ---------------------------------------------------------------------------
+
+def gamma_delta_p(S: np.ndarray, f: int, delta: float, p: PNorm) -> bool:
+    """Nonemptiness of ``Γ_{(δ,p)}(S) = ∩_T H_{(δ,p)}(T)``.
+
+    Exact LP for ``p ∈ {1, inf}``; for ``p = 2`` compares ``δ`` against the
+    min-max optimum ``δ*(S)`` from :mod:`repro.geometry.minimax`; other
+    finite ``p`` fall back to the same minimax machinery.
+    """
+    p = validate_p(p)
+    if delta == 0.0:
+        return gamma(S, f)
+    if p == 1.0 or math.isinf(p):
+        return gamma_delta_p_point(S, f, delta, p) is not None
+    from .minimax import delta_star  # deferred: minimax imports this module
+
+    return delta_star(S, f, p=p).value <= delta + 1e-9
+
+
+def gamma_delta_p_point(
+    S: np.ndarray, f: int, delta: float, p: PNorm
+) -> Optional[np.ndarray]:
+    """Deterministic point of ``Γ_{(δ,p)}(S)``, or None when empty.
+
+    For ``p ∈ {1, inf}`` (and for ``δ = 0`` at any ``p``) this is exact via
+    LP.  For ``p = 2`` and other finite ``p`` the min-max optimiser supplies
+    the point when feasible.
+    """
+    S = np.atleast_2d(np.asarray(S, dtype=float))
+    n, d = S.shape
+    p = validate_p(p)
+    if delta < 0:
+        raise ValueError("delta must be >= 0")
+    if delta == 0.0:
+        return gamma_point(S, f)
+    if p == 1.0 or math.isinf(p):
+        sys_ = _HullSystem(d)
+        for T in f_subsets(n, f):
+            sys_.add_hull_constraint(S[list(T)], delta=delta, p=p)
+        return sys_.lexicographic_point()
+    from .minimax import delta_star
+
+    result = delta_star(S, f, p=p)
+    if result.value <= delta + 1e-9:
+        return result.point
+    return None

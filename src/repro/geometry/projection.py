@@ -1,0 +1,116 @@
+"""Coordinate projections ``g_D`` and the subset family ``D_k`` (paper §5.1).
+
+For a size-``k`` subset ``D = {d_1 < ... < d_k}`` of the coordinate indices
+``[1, d]`` (0-based here), the projection ``g_D`` keeps only the coordinates
+in ``D``.  The *k-relaxed convex hull* is defined through these projections:
+
+.. math::
+
+    H_k(S) = \\{ u : g_D(u) \\in H(g_D(S)) \\ \\forall D \\in D_k \\}
+
+so we need: enumeration of ``D_k``, the forward projection on points and
+multisets, and the inverse-image ("cylinder") representation
+``g_D^{-1}(v) = { u : g_D(u) = v }``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "validate_subset",
+    "enumerate_coordinate_subsets",
+    "project",
+    "project_multiset",
+    "Cylinder",
+]
+
+
+def validate_subset(D: Sequence[int], d: int) -> tuple[int, ...]:
+    """Validate a coordinate subset ``D`` against ambient dimension ``d``.
+
+    Indices are 0-based, must be distinct, sorted output, each in
+    ``[0, d)``.
+    """
+    ds = tuple(int(i) for i in D)
+    if len(ds) == 0:
+        raise ValueError("coordinate subset must be nonempty")
+    if len(set(ds)) != len(ds):
+        raise ValueError(f"coordinate subset has repeats: {ds}")
+    if any(i < 0 or i >= d for i in ds):
+        raise ValueError(f"coordinate subset {ds} out of range for d={d}")
+    return tuple(sorted(ds))
+
+
+def enumerate_coordinate_subsets(d: int, k: int) -> Iterator[tuple[int, ...]]:
+    """Yield every size-``k`` subset of ``{0, ..., d-1}`` (the family D_k)."""
+    if not 1 <= k <= d:
+        raise ValueError(f"need 1 <= k <= d, got k={k}, d={d}")
+    return combinations(range(d), k)
+
+
+def project(u: np.ndarray, D: Sequence[int]) -> np.ndarray:
+    """``g_D(u)``: retain the coordinates of ``u`` indexed by ``D``.
+
+    Works on a single vector or on an ``(m, d)`` stack of vectors.
+    """
+    u = np.asarray(u, dtype=float)
+    idx = list(validate_subset(D, u.shape[-1]))
+    return u[..., idx]
+
+
+def project_multiset(S: np.ndarray, D: Sequence[int]) -> np.ndarray:
+    """``g_D(S)`` for a multiset ``S`` given as an ``(m, d)`` array.
+
+    The result is an ``(m, k)`` array; duplicates are preserved (multiset
+    semantics, Definition 4).
+    """
+    S = np.atleast_2d(np.asarray(S, dtype=float))
+    return project(S, D)
+
+
+class Cylinder:
+    """The inverse image ``g_D^{-1}(V)`` of a set ``V`` of k-vectors.
+
+    Represents the set of ``d``-dimensional vectors whose ``D``-projection
+    lies in ``V`` (Definition 5), where ``V`` is given as the convex hull of
+    a finite point set in ``R^k``.  Membership only ever needs the
+    projection, so the object stores ``(d, D, V-points)``.
+    """
+
+    __slots__ = ("d", "D", "base_points")
+
+    def __init__(self, d: int, D: Sequence[int], base_points: np.ndarray):
+        self.d = int(d)
+        self.D = validate_subset(D, self.d)
+        base = np.atleast_2d(np.asarray(base_points, dtype=float))
+        if base.shape[1] != len(self.D):
+            raise ValueError(
+                f"base points have dimension {base.shape[1]}, expected {len(self.D)}"
+            )
+        self.base_points = base
+
+    def contains(self, u: np.ndarray, tol: float = 1e-9) -> bool:
+        """True when ``g_D(u)`` is in the hull of the base points."""
+        from .distance import in_hull  # local import to avoid cycles
+
+        u = np.asarray(u, dtype=float).ravel()
+        if u.size != self.d:
+            raise ValueError(f"expected a {self.d}-vector, got size {u.size}")
+        return in_hull(self.base_points, project(u, self.D), tol)
+
+    def distance(self, u: np.ndarray, p: float = 2) -> float:
+        """L_p distance from ``g_D(u)`` to the base hull.
+
+        Zero iff ``u`` is in the cylinder; used as a violation measure.
+        """
+        from .distance import distance_to_hull
+
+        u = np.asarray(u, dtype=float).ravel()
+        return distance_to_hull(self.base_points, project(u, self.D), p).distance
+
+    def __repr__(self) -> str:
+        return f"Cylinder(d={self.d}, D={self.D}, m={self.base_points.shape[0]})"

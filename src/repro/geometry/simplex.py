@@ -1,0 +1,131 @@
+"""Simplex geometry: the inscribed-sphere machinery of Lemmas 11–15.
+
+For affinely independent points ``a_1, ..., a_{d+1}`` in ``R^d`` the paper
+(following Toda, "Radii of the inscribed and escribed spheres of a simplex")
+defines ``A = [a_1 - a_{d+1}, ..., a_d - a_{d+1}]``, ``B = (A^{-1})^T`` with
+columns ``b_1, ..., b_d`` and ``b_{d+1} = -sum_i b_i``.  Then:
+
+* Lemma 11: ``<a_i - a_j, b_k> = δ_ik - δ_jk``;
+* Lemma 12: the inradius is ``r = 1 / sum_i ||b_i||``;
+* Lemma 13: for ``f = 1`` and ``S`` a simplex, ``δ*(S) = r`` — the exact
+  closed form we use to validate the numerical min-max solver;
+* Lemma 14: ``r < min_k r_k`` where ``r_k`` is the inradius of facet
+  ``π_k`` inside its own (d-1)-dimensional subspace;
+* Lemma 15: ``r < max_edge / d``.
+
+Barycentric fact used for the incenter: a point with barycentric
+coordinates ``t`` has distance ``t_i / ||b_i||`` to facet ``π_i``; the
+incenter therefore has ``t_i ∝ ||b_i||``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .hull import affine_basis
+
+__all__ = [
+    "is_affinely_independent",
+    "simplex_b_vectors",
+    "inradius",
+    "incenter",
+    "incenter_and_inradius",
+    "facet_points",
+    "facet_inradius",
+    "vertex_facet_distances",
+]
+
+_RANK_TOL = 1e-9
+
+
+def _as_simplex(points: np.ndarray) -> np.ndarray:
+    pts = np.atleast_2d(np.asarray(points, dtype=float))
+    m, d = pts.shape
+    if m != d + 1:
+        raise ValueError(f"a simplex in R^{d} needs exactly {d + 1} points, got {m}")
+    return pts
+
+
+def is_affinely_independent(points: np.ndarray, tol: float = _RANK_TOL) -> bool:
+    """True when the ``m`` points span an ``(m-1)``-dimensional affine hull."""
+    pts = np.atleast_2d(np.asarray(points, dtype=float))
+    _, basis = affine_basis(pts, tol)
+    return basis.shape[0] == pts.shape[0] - 1
+
+
+def simplex_b_vectors(points: np.ndarray) -> np.ndarray:
+    """The vectors ``b_1, ..., b_{d+1}`` of Lemma 11, as rows of a matrix.
+
+    ``points`` is ``(d+1, d)`` with affinely independent rows; the returned
+    array is ``(d+1, d)`` with ``B[i] = b_{i+1}`` and
+    ``B[d] = -sum(B[:d])``.
+
+    Raises
+    ------
+    numpy.linalg.LinAlgError
+        If the points are affinely dependent (``A`` is singular).
+    """
+    pts = _as_simplex(points)
+    d = pts.shape[1]
+    A = (pts[:d] - pts[d]).T  # columns a_i - a_{d+1}
+    Binv = np.linalg.inv(A)  # rows of A^{-1}
+    B = Binv  # B = (A^{-1})^T has columns = rows of A^{-1}; store as rows
+    b_last = -B.sum(axis=0)
+    return np.vstack([B, b_last])
+
+
+def inradius(points: np.ndarray) -> float:
+    """Inradius ``r = 1 / sum_i ||b_i||_2`` of the simplex (Lemma 12)."""
+    B = simplex_b_vectors(points)
+    return 1.0 / float(np.linalg.norm(B, axis=1).sum())
+
+
+def incenter(points: np.ndarray) -> np.ndarray:
+    """Center of the inscribed sphere (barycentric weights ``∝ ||b_i||``)."""
+    pts = _as_simplex(points)
+    B = simplex_b_vectors(pts)
+    w = np.linalg.norm(B, axis=1)
+    w = w / w.sum()
+    return w @ pts
+
+
+def incenter_and_inradius(points: np.ndarray) -> tuple[np.ndarray, float]:
+    """Both the incenter and inradius (one ``B`` computation)."""
+    pts = _as_simplex(points)
+    B = simplex_b_vectors(pts)
+    norms = np.linalg.norm(B, axis=1)
+    total = norms.sum()
+    return (norms / total) @ pts, 1.0 / float(total)
+
+
+def facet_points(points: np.ndarray, k: int) -> np.ndarray:
+    """Vertices of facet ``π_k`` (all vertices except index ``k``)."""
+    pts = _as_simplex(points)
+    if not 0 <= k < pts.shape[0]:
+        raise ValueError(f"facet index {k} out of range")
+    return np.delete(pts, k, axis=0)
+
+
+def facet_inradius(points: np.ndarray, k: int) -> float:
+    """Inradius ``r_k`` of facet ``π_k`` inside its own subspace (Lemma 14).
+
+    The facet's ``d`` vertices are mapped isometrically to ``R^{d-1}``
+    via an orthonormal affine basis, where they form a simplex whose
+    inradius is computed with Lemma 12.
+    """
+    fpts = facet_points(points, k)
+    origin, basis = affine_basis(fpts)
+    if basis.shape[0] != fpts.shape[0] - 1:
+        raise ValueError("facet is degenerate; the simplex is not full-dimensional")
+    reduced = (fpts - origin) @ basis.T
+    return inradius(reduced)
+
+
+def vertex_facet_distances(points: np.ndarray) -> np.ndarray:
+    """Distance from each vertex ``a_i`` to its opposite facet ``π_i``.
+
+    Equals ``1 / ||b_i||`` by Lemma 11 (``<a_i - a_j, b_i> = 1`` for any
+    ``a_j`` on the facet, and ``b_i`` is orthogonal to the facet).
+    """
+    B = simplex_b_vectors(points)
+    return 1.0 / np.linalg.norm(B, axis=1)

@@ -1,0 +1,19 @@
+"""Broadcast protocols: OM(f)/EIG, authenticated Dolev–Strong, Bracha RBC."""
+
+from .bracha import ECHO, INIT, READY, BrachaState
+from .dolev_strong import DolevStrongState, ds_total_rounds
+from .interface import BroadcastDefault, majority
+from .om import EIGState, eig_total_rounds
+
+__all__ = [
+    "BrachaState",
+    "BroadcastDefault",
+    "DolevStrongState",
+    "ECHO",
+    "EIGState",
+    "INIT",
+    "READY",
+    "ds_total_rounds",
+    "eig_total_rounds",
+    "majority",
+]

@@ -1,0 +1,95 @@
+"""Bracha's asynchronous reliable broadcast (Bracha 1987, paper ref [4]).
+
+The asynchronous algorithms of §10 (Relaxed Verified Averaging) rely on
+reliable broadcast: even with a Byzantine sender, all correct processes
+that deliver a value for an instance deliver the *same* value, and if any
+correct process delivers, every correct process eventually does
+(totality).  Requires ``n >= 3f + 1`` — which is exactly why the paper's
+asynchronous results also assume ``n >= 3f + 1``.
+
+Protocol per instance (sender ``s``, value ``v``):
+
+* sender sends ``INIT(v)`` to all;
+* on first ``INIT(v)`` from ``s``: send ``ECHO(v)`` to all;
+* on ``ceil((n+f+1)/2)`` ``ECHO(v)`` or ``f+1`` ``READY(v)`` (first time):
+  send ``READY(v)`` to all;
+* on ``2f+1`` ``READY(v)``: deliver ``v``.
+
+The machine is message-driven: :meth:`on_message` returns the messages to
+send, and sets :attr:`delivered_value` when delivery happens.  Duplicate
+phase messages from the same process are counted once (Byzantine processes
+cannot inflate quorums by repetition).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+from ..messages import canonical_bytes
+
+__all__ = ["BrachaState", "INIT", "ECHO", "READY"]
+
+INIT, ECHO, READY = "init", "echo", "ready"
+
+
+class BrachaState:
+    """Per-process state of one reliable-broadcast instance."""
+
+    def __init__(self, n: int, f: int, sender: int, pid: int):
+        if n < 3 * f + 1:
+            raise ValueError(f"Bracha RBC requires n >= 3f+1, got n={n}, f={f}")
+        self.n, self.f = n, f
+        self.sender = sender
+        self.pid = pid
+        self.echo_threshold = math.ceil((n + f + 1) / 2)
+        self.ready_threshold = 2 * f + 1
+        self._echoed = False
+        self._readied = False
+        self._echoes: dict[bytes, set[int]] = {}
+        self._readys: dict[bytes, set[int]] = {}
+        self._values: dict[bytes, Any] = {}
+        self.delivered_value: Optional[Any] = None
+        self.delivered = False
+
+    # ------------------------------------------------------------- sending
+    def start(self, value: Any = None) -> list[tuple[int, tuple[str, Any]]]:
+        """Sender's initial ``INIT`` burst (empty for non-senders)."""
+        if self.pid != self.sender:
+            return []
+        return [(dst, (INIT, value)) for dst in range(self.n)]
+
+    # ----------------------------------------------------------- receiving
+    def on_message(
+        self, src: int, payload: tuple[str, Any]
+    ) -> list[tuple[int, tuple[str, Any]]]:
+        """Process one phase message; returns the messages to send."""
+        try:
+            phase, value = payload
+        except (TypeError, ValueError):
+            return []
+        out: list[tuple[int, tuple[str, Any]]] = []
+        key = canonical_bytes(value)
+
+        if phase == INIT:
+            if src == self.sender and not self._echoed:
+                self._echoed = True
+                out.extend((dst, (ECHO, value)) for dst in range(self.n))
+        elif phase == ECHO:
+            self._values.setdefault(key, value)
+            voters = self._echoes.setdefault(key, set())
+            voters.add(src)
+            if len(voters) >= self.echo_threshold and not self._readied:
+                self._readied = True
+                out.extend((dst, (READY, value)) for dst in range(self.n))
+        elif phase == READY:
+            self._values.setdefault(key, value)
+            voters = self._readys.setdefault(key, set())
+            voters.add(src)
+            if len(voters) >= self.f + 1 and not self._readied:
+                self._readied = True
+                out.extend((dst, (READY, value)) for dst in range(self.n))
+            if len(voters) >= self.ready_threshold and not self.delivered:
+                self.delivered = True
+                self.delivered_value = self._values[key]
+        return out

@@ -1,0 +1,52 @@
+"""Shared pieces of the broadcast protocol implementations.
+
+All three broadcast protocols here (OM/EIG, Dolev–Strong, Bracha) are
+implemented as *embeddable state machines*: a consensus process hosts one
+machine per broadcast instance (e.g. one per input being disseminated) and
+forwards the relevant rounds/messages.  The machines never touch the
+network directly — they return ``(dst, payload)`` pairs or accept inbox
+entries — which keeps them unit-testable without a scheduler and lets the
+consensus layer multiplex ``n`` simultaneous instances over one tag
+namespace.
+
+Properties provided (under ``n >= 3f + 1``):
+
+* **Validity** — if the sender (commander) is correct with value ``v``,
+  every correct process outputs ``v``.
+* **Agreement** — all correct processes output the same value, even for a
+  Byzantine sender.
+* (Bracha adds **Totality**: if one correct process delivers, all do.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = ["BroadcastDefault", "majority"]
+
+#: Sentinel used as the default decision when a Byzantine sender's value
+#: cannot be pinned down.  Protocol embeddings usually replace it with a
+#: domain default (the paper never needs the default's actual value — a
+#: detectably-faulty sender's input may be discarded or replaced).
+BroadcastDefault = None
+
+
+def majority(values: list[Any], default: Any = BroadcastDefault) -> Any:
+    """Strict majority of ``values`` (by canonical equality), else default.
+
+    NumPy arrays and nested tuples are compared via their canonical byte
+    serialisation so that numerically identical vectors vote together.
+    """
+    from ..messages import canonical_bytes
+
+    counts: dict[bytes, tuple[int, Any]] = {}
+    for v in values:
+        key = canonical_bytes(v)
+        cnt, _ = counts.get(key, (0, v))
+        counts[key] = (cnt + 1, v)
+    if not counts:
+        return default
+    best_cnt, best_val = max(counts.values(), key=lambda t: t[0])
+    if 2 * best_cnt > len(values):
+        return best_val
+    return default

@@ -1,0 +1,27 @@
+"""Process identifiers and small shared types for the simulator.
+
+Processes are identified by dense integer ids ``0 .. n-1``, matching the
+paper's "processes 1..n" (0-based here).  The type aliases keep signatures
+readable without inventing wrapper classes the hot paths would pay for.
+"""
+
+from __future__ import annotations
+
+from typing import NewType
+
+__all__ = ["ProcessId", "Round", "validate_system_size"]
+
+ProcessId = NewType("ProcessId", int)
+Round = NewType("Round", int)
+
+
+def validate_system_size(n: int, f: int) -> None:
+    """Validate a system of ``n`` processes with up to ``f`` Byzantine.
+
+    The paper assumes ``n >= 2`` (consensus is trivial for one process)
+    and ``0 <= f < n``.
+    """
+    if n < 2:
+        raise ValueError(f"need at least 2 processes, got n={n}")
+    if not 0 <= f < n:
+        raise ValueError(f"need 0 <= f < n, got n={n}, f={f}")

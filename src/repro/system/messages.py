@@ -1,0 +1,87 @@
+"""Message envelopes exchanged through the simulated network.
+
+A message is an immutable envelope ``(src, dst, tag, payload)`` plus
+bookkeeping (send sequence number, logical round for synchronous
+executions).  Payloads are ordinary Python objects; protocols define their
+own payload structures (e.g. EIG relay tuples, Bracha phase records).
+
+``canonical_bytes`` provides a deterministic serialisation used by the
+simulated signature scheme — NumPy arrays are serialised via shape+dtype+
+data bytes so that numerically identical vectors sign identically.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+__all__ = ["ALL", "Message", "canonical_bytes"]
+
+
+def canonical_bytes(obj: Any) -> bytes:
+    """Deterministic byte serialisation for signing/hashing.
+
+    Converts NumPy arrays (at any nesting depth inside tuples/lists/dicts)
+    to a canonical ``(shape, dtype, bytes)`` form, then pickles with
+    protocol 4 — stable for the value types protocols exchange here.
+    """
+
+    def canon(x: Any) -> Any:
+        if isinstance(x, np.ndarray):
+            return ("__ndarray__", x.shape, str(x.dtype), x.tobytes())
+        if isinstance(x, np.generic):
+            return ("__npscalar__", str(x.dtype), x.item())
+        if isinstance(x, dict):
+            return ("__dict__", tuple(sorted((canon(k), canon(v)) for k, v in x.items())))
+        if isinstance(x, (list, tuple)):
+            return tuple(canon(v) for v in x)
+        return x
+
+    return pickle.dumps(canon(obj), protocol=4)
+
+
+#: Destination sentinel for channel-level atomic broadcast: the network
+#: delivers one identical copy to every process.  Models the paper's
+#: footnote 3 ("when the underlying network is a reliable broadcast
+#: channel") — equivocation is physically impossible on such a channel.
+ALL = -1
+
+
+@dataclass(frozen=True)
+class Message:
+    """One envelope in flight.
+
+    Attributes
+    ----------
+    src, dst:
+        Sender and receiver process ids; ``dst = ALL`` (-1) is a
+        channel-level atomic broadcast.
+    tag:
+        Protocol-level tag (e.g. ``"eig"``, ``"echo"``, ``"rva"``), letting
+        multiple sub-protocols multiplex one network.
+    payload:
+        Arbitrary protocol data.
+    round:
+        Logical round for synchronous executions (None in async runs).
+    seq:
+        Per-sender send sequence number; preserves per-link FIFO order.
+    """
+
+    src: int
+    dst: int
+    tag: str
+    payload: Any
+    round: Optional[int] = None
+    seq: int = field(default=0, compare=False)
+
+    @property
+    def is_atomic_broadcast(self) -> bool:
+        """True when this envelope is a channel-level broadcast."""
+        return self.dst == ALL
+
+    def __repr__(self) -> str:  # compact transcript-friendly form
+        r = f", r={self.round}" if self.round is not None else ""
+        return f"Msg({self.src}->{self.dst} {self.tag}{r})"

@@ -1,0 +1,90 @@
+"""The complete-graph message transport with per-link FIFO order.
+
+The paper's model: "a complete network ... a reliable communication channel
+from every process to each of the remaining processes."  The network never
+loses, duplicates, or corrupts messages; all misbehaviour comes from
+Byzantine *processes* and (in the asynchronous model) from adversarial
+*delivery timing*.  :class:`Network` is therefore a buffer that preserves
+per-link FIFO order and collects transcript statistics; the scheduler
+decides *when* each buffered message is delivered.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Deque, Iterator, Optional
+
+from .messages import Message
+
+__all__ = ["Network", "NetworkStats"]
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate transcript statistics for one execution."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    bytes_estimate: int = 0
+    per_tag: dict[str, int] = field(default_factory=dict)
+
+    def record_send(self, msg: Message) -> None:
+        self.messages_sent += 1
+        self.per_tag[msg.tag] = self.per_tag.get(msg.tag, 0) + 1
+
+    def record_delivery(self, _msg: Message) -> None:
+        self.messages_delivered += 1
+
+
+class Network:
+    """FIFO buffers for every ordered pair of processes."""
+
+    def __init__(self, n: int):
+        self.n = int(n)
+        self._links: dict[tuple[int, int], Deque[Message]] = defaultdict(deque)
+        self.stats = NetworkStats()
+
+    def submit(self, msg: Message) -> None:
+        """Accept a message into the (src, dst) link buffer.
+
+        ``dst = ALL`` (atomic broadcast) occupies its own logical link per
+        sender; the scheduler fans it out to every process on delivery.
+        """
+        if not 0 <= msg.src < self.n:
+            raise ValueError(f"message endpoints out of range: {msg!r}")
+        if not (msg.is_atomic_broadcast or 0 <= msg.dst < self.n):
+            raise ValueError(f"message endpoints out of range: {msg!r}")
+        self._links[(msg.src, msg.dst)].append(msg)
+        self.stats.record_send(msg)
+
+    def pending_links(self) -> list[tuple[int, int]]:
+        """Links with at least one undelivered message (deterministic order)."""
+        return sorted(link for link, q in self._links.items() if q)
+
+    def peek(self, link: tuple[int, int]) -> Optional[Message]:
+        """Head-of-line message on a link, without removing it."""
+        q = self._links.get(link)
+        return q[0] if q else None
+
+    def pop(self, link: tuple[int, int]) -> Message:
+        """Deliver (remove) the head-of-line message on a link."""
+        q = self._links.get(link)
+        if not q:
+            raise KeyError(f"no pending message on link {link}")
+        msg = q.popleft()
+        self.stats.record_delivery(msg)
+        return msg
+
+    def pending_count(self) -> int:
+        """Total undelivered messages."""
+        return sum(len(q) for q in self._links.values())
+
+    def drain_all(self) -> Iterator[Message]:
+        """Deliver everything, link by link (synchronous round flush)."""
+        for link in self.pending_links():
+            q = self._links[link]
+            while q:
+                msg = q.popleft()
+                self.stats.record_delivery(msg)
+                yield msg

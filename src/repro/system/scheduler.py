@@ -1,0 +1,393 @@
+"""Execution engines: lockstep synchronous rounds and adversarial async.
+
+:class:`SynchronousScheduler`
+    Runs :class:`~repro.system.process.SyncProcess` objects in rounds.
+    Every message sent in round ``r`` arrives at the start of round
+    ``r+1``.  Correct processes act first each round; the (rushing)
+    adversary then transforms the faulty processes' traffic with full
+    knowledge of the correct messages.
+
+:class:`AsyncScheduler`
+    Event-driven delivery, one message at a time, in an order chosen by a
+    :class:`DeliveryPolicy`.  The built-in policies are seeded-random
+    (fair with probability 1), global-FIFO, and :class:`DelayPolicy`
+    (starve chosen victims as long as anything else is deliverable — the
+    strongest schedule that is still *eventually* fair, which is what the
+    asynchronous model permits).
+
+Both return a :class:`RunResult` carrying decisions, transcript statistics
+and the per-process contexts for post-hoc assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from .adversary import Adversary, AdversaryView
+from .ids import validate_system_size
+from .messages import Message
+from .network import Network, NetworkStats
+from .process import AsyncProcess, Context, SyncProcess
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .topology import Topology
+
+__all__ = [
+    "RunResult",
+    "SynchronousScheduler",
+    "DeliveryPolicy",
+    "RandomPolicy",
+    "FifoPolicy",
+    "DelayPolicy",
+    "AsyncScheduler",
+]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one execution.
+
+    Attributes
+    ----------
+    decisions:
+        pid -> decided value, for every process that decided (faulty
+        processes running honest logic may appear here too; filter with
+        ``correct_decisions``).
+    rounds:
+        Rounds executed (synchronous) or delivery steps (asynchronous).
+    stats:
+        Network transcript statistics.
+    contexts:
+        pid -> Context (exposes per-process state for assertions).
+    faulty:
+        The adversary's corruption set.
+    completed:
+        False when the run hit its round/step cap before all correct
+        processes decided.
+    """
+
+    decisions: dict[int, Any]
+    rounds: int
+    stats: NetworkStats
+    contexts: dict[int, Context]
+    faulty: frozenset[int]
+    completed: bool
+    #: (round-or-step, message) pairs when recording was requested.
+    transcript: Optional[list[tuple[int, Message]]] = None
+
+    @property
+    def correct_decisions(self) -> dict[int, Any]:
+        """Decisions of the non-faulty processes only."""
+        return {pid: v for pid, v in self.decisions.items() if pid not in self.faulty}
+
+
+def _make_contexts(
+    n: int, f: int, rng: np.random.Generator
+) -> dict[int, Context]:
+    seeds = rng.integers(0, 2**63 - 1, size=n)
+    return {
+        pid: Context(pid, n, f, np.random.default_rng(int(seeds[pid])))
+        for pid in range(n)
+    }
+
+
+class SynchronousScheduler:
+    """Lockstep-round executor with a rushing Byzantine adversary."""
+
+    def __init__(
+        self,
+        processes: Sequence[SyncProcess],
+        f: int,
+        adversary: Optional[Adversary] = None,
+        *,
+        rng: Optional[np.random.Generator] = None,
+        max_rounds: int = 10_000,
+        sign: Optional[Callable[[int, Any], Any]] = None,
+        topology: Optional["Topology"] = None,
+        record_transcript: bool = False,
+    ):
+        n = len(processes)
+        validate_system_size(n, f)
+        adversary = adversary or Adversary.none()
+        if len(adversary.faulty) > f:
+            raise ValueError(
+                f"adversary corrupts {len(adversary.faulty)} > f={f} processes"
+            )
+        if topology is not None and topology.n != n:
+            raise ValueError(
+                f"topology has {topology.n} nodes for {n} processes"
+            )
+        self.n, self.f = n, f
+        self.adversary = adversary
+        self.processes: dict[int, SyncProcess] = {}
+        for pid, proc in enumerate(processes):
+            custom = adversary.custom_processes.get(pid)
+            self.processes[pid] = custom if custom is not None else proc
+        self.rng = rng or np.random.default_rng(0)
+        self.max_rounds = int(max_rounds)
+        self.sign = sign
+        self.topology = topology
+        self.record_transcript = bool(record_transcript)
+        self.network = Network(n)
+        self.contexts = _make_contexts(n, f, self.rng)
+        self._adv_rng = np.random.default_rng(int(self.rng.integers(0, 2**63 - 1)))
+
+    def run(self) -> RunResult:
+        """Execute rounds until every correct process has decided (or cap)."""
+        transcript: Optional[list[tuple[int, Message]]] = (
+            [] if self.record_transcript else None
+        )
+        inboxes: dict[int, dict[int, list[tuple[str, Any]]]] = {
+            pid: {} for pid in range(self.n)
+        }
+        completed = False
+        rounds_done = 0
+        for r in range(self.max_rounds):
+            rounds_done = r
+            correct_ids = [p for p in range(self.n) if not self.adversary.is_faulty(p)]
+            faulty_ids = [p for p in range(self.n) if self.adversary.is_faulty(p)]
+
+            # 1. Correct processes act on this round's inbox.
+            for pid in correct_ids:
+                ctx = self.contexts[pid]
+                if ctx.halted:
+                    continue
+                ctx.outbox = []
+                self.processes[pid].on_round(ctx, r, inboxes[pid])
+            correct_msgs: list[Message] = []
+            for pid in correct_ids:
+                correct_msgs.extend(self.contexts[pid].outbox)
+
+            # 2. Faulty processes act; the rushing adversary transforms
+            #    their traffic with the correct messages in view.
+            view = AdversaryView(
+                round=r,
+                n=self.n,
+                f=self.f,
+                rng=self._adv_rng,
+                correct_outbox=tuple(correct_msgs),
+                sign=self.sign,
+            )
+            faulty_msgs: list[Message] = []
+            for pid in faulty_ids:
+                ctx = self.contexts[pid]
+                if ctx.halted:
+                    continue
+                ctx.outbox = []
+                self.processes[pid].on_round(ctx, r, inboxes[pid])
+                faulty_msgs.extend(
+                    self.adversary.transform_outbox(pid, ctx.outbox, view)
+                )
+
+            # 3. Deliver everything for the next round (per-link FIFO).
+            #    In incomplete graphs there is no channel across missing
+            #    edges: those messages are dropped at submission — for
+            #    Byzantine senders too (they cannot conjure wires).
+            for msg in correct_msgs + faulty_msgs:
+                if (
+                    self.topology is not None
+                    and not msg.is_atomic_broadcast
+                    and not self.topology.allows(msg.src, msg.dst)
+                ):
+                    continue
+                if transcript is not None:
+                    transcript.append((r, msg))
+                self.network.submit(msg)
+            inboxes = {pid: {} for pid in range(self.n)}
+            for msg in self.network.drain_all():
+                if msg.is_atomic_broadcast:
+                    targets: Sequence[int] = (
+                        range(self.n)
+                        if self.topology is None
+                        else (*self.topology.neighbors(msg.src), msg.src)
+                    )
+                else:
+                    targets = (msg.dst,)
+                for dst in targets:
+                    inboxes[dst].setdefault(msg.src, []).append(
+                        (msg.tag, msg.payload)
+                    )
+
+            if all(
+                self.contexts[pid].decided or self.contexts[pid].halted
+                for pid in correct_ids
+            ):
+                completed = True
+                rounds_done = r + 1
+                break
+
+        for pid, proc in self.processes.items():
+            proc.on_stop(self.contexts[pid])
+        decisions = {
+            pid: ctx.decision for pid, ctx in self.contexts.items() if ctx.decided
+        }
+        return RunResult(
+            decisions=decisions,
+            rounds=rounds_done,
+            stats=self.network.stats,
+            contexts=self.contexts,
+            faulty=self.adversary.faulty,
+            completed=completed,
+            transcript=transcript,
+        )
+
+
+# ---------------------------------------------------------------------------
+# asynchronous execution
+# ---------------------------------------------------------------------------
+
+
+class DeliveryPolicy:
+    """Chooses which pending link delivers next."""
+
+    def choose(
+        self, links: Sequence[tuple[int, int]], network: Network, rng: np.random.Generator
+    ) -> tuple[int, int]:
+        raise NotImplementedError
+
+
+class RandomPolicy(DeliveryPolicy):
+    """Uniformly random pending link (fair with probability 1)."""
+
+    def choose(self, links, network, rng):
+        return links[int(rng.integers(0, len(links)))]
+
+
+class FifoPolicy(DeliveryPolicy):
+    """Deliver the globally oldest message (by sender sequence number)."""
+
+    def choose(self, links, network, rng):
+        def age(link):
+            msg = network.peek(link)
+            return (msg.seq, link)
+
+        return min(links, key=age)
+
+
+class DelayPolicy(DeliveryPolicy):
+    """Starve messages *to* the victim set while anything else is pending.
+
+    Still eventually fair — victims' messages are delivered once nothing
+    else remains — so this is a legal asynchronous schedule, and the worst
+    one for convergence-style protocols.
+    """
+
+    def __init__(self, victims: Sequence[int], fallback: Optional[DeliveryPolicy] = None):
+        self.victims = frozenset(int(v) for v in victims)
+        self.fallback = fallback or RandomPolicy()
+
+    def choose(self, links, network, rng):
+        preferred = [lk for lk in links if lk[1] not in self.victims]
+        pool = preferred if preferred else list(links)
+        return self.fallback.choose(pool, network, rng)
+
+
+class AsyncScheduler:
+    """Event-driven executor: deliver one message per step, policy-ordered."""
+
+    def __init__(
+        self,
+        processes: Sequence[AsyncProcess],
+        f: int,
+        adversary: Optional[Adversary] = None,
+        *,
+        policy: Optional[DeliveryPolicy] = None,
+        rng: Optional[np.random.Generator] = None,
+        max_steps: int = 1_000_000,
+        sign: Optional[Callable[[int, Any], Any]] = None,
+        stop_when_correct_decided: bool = True,
+        record_transcript: bool = False,
+    ):
+        n = len(processes)
+        validate_system_size(n, f)
+        adversary = adversary or Adversary.none()
+        if len(adversary.faulty) > f:
+            raise ValueError(
+                f"adversary corrupts {len(adversary.faulty)} > f={f} processes"
+            )
+        self.n, self.f = n, f
+        self.adversary = adversary
+        self.processes: dict[int, AsyncProcess] = {}
+        for pid, proc in enumerate(processes):
+            custom = adversary.custom_processes.get(pid)
+            self.processes[pid] = custom if custom is not None else proc
+        self.policy = policy or RandomPolicy()
+        self.rng = rng or np.random.default_rng(0)
+        self.max_steps = int(max_steps)
+        self.sign = sign
+        self.stop_when_correct_decided = stop_when_correct_decided
+        self.record_transcript = bool(record_transcript)
+        self.network = Network(n)
+        self.contexts = _make_contexts(n, f, self.rng)
+        self._adv_rng = np.random.default_rng(int(self.rng.integers(0, 2**63 - 1)))
+
+    def _flush_outbox(self, pid: int) -> None:
+        ctx = self.contexts[pid]
+        msgs = ctx.outbox
+        ctx.outbox = []
+        if self.adversary.is_faulty(pid):
+            view = AdversaryView(
+                round=None,
+                n=self.n,
+                f=self.f,
+                rng=self._adv_rng,
+                sign=self.sign,
+            )
+            msgs = self.adversary.transform_outbox(pid, msgs, view)
+        for msg in msgs:
+            self.network.submit(msg)
+
+    def run(self) -> RunResult:
+        """Deliver messages until all correct processes decide (or cap)."""
+        transcript: Optional[list[tuple[int, Message]]] = (
+            [] if self.record_transcript else None
+        )
+        for pid in range(self.n):
+            self.processes[pid].on_start(self.contexts[pid])
+            self._flush_outbox(pid)
+
+        correct_ids = [p for p in range(self.n) if not self.adversary.is_faulty(p)]
+        steps = 0
+        completed = False
+        while steps < self.max_steps:
+            if self.stop_when_correct_decided and all(
+                self.contexts[p].decided for p in correct_ids
+            ):
+                completed = True
+                break
+            links = self.network.pending_links()
+            if not links:
+                completed = all(self.contexts[p].decided for p in correct_ids)
+                break
+            link = self.policy.choose(links, self.network, self.rng)
+            msg = self.network.pop(link)
+            steps += 1
+            if transcript is not None:
+                transcript.append((steps, msg))
+            targets = range(self.n) if msg.is_atomic_broadcast else (msg.dst,)
+            for dst in targets:
+                ctx = self.contexts[dst]
+                if ctx.halted:
+                    continue
+                self.processes[dst].on_message(ctx, msg.src, msg.tag, msg.payload)
+                self._flush_outbox(dst)
+
+        for pid, proc in self.processes.items():
+            proc.on_stop(self.contexts[pid])
+        decisions = {
+            pid: ctx.decision for pid, ctx in self.contexts.items() if ctx.decided
+        }
+        return RunResult(
+            decisions=decisions,
+            rounds=steps,
+            stats=self.network.stats,
+            contexts=self.contexts,
+            faulty=self.adversary.faulty,
+            completed=completed,
+            transcript=transcript,
+        )

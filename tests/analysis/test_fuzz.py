@@ -1,0 +1,57 @@
+"""Failure-injection soak tests via the fuzz harness.
+
+Each test runs dozens of randomised adversary/schedule/input
+combinations through a full protocol stack and asserts that no invariant
+(agreement / validity / termination) ever breaks.  These are the broadest
+net in the suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.fuzz import ALGORITHMS, FuzzFailure, fuzz_consensus, random_adversary
+
+
+class TestHarness:
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            fuzz_consensus("nope", trials=1)
+
+    def test_random_adversary_respects_f(self, rng):
+        for _ in range(50):
+            adv, name = random_adversary(rng, 6, 2)
+            assert len(adv.faulty) <= 2
+            assert name in (
+                "honest", "silent", "crash", "mutate", "equivocate", "duplicate"
+            )
+
+    def test_failure_record_printable(self):
+        f = FuzzFailure("algo", 1, 4, 3, 1, "silent", True, False, True)
+        assert "algo" in str(f)
+
+    def test_deterministic_given_seed(self):
+        a = fuzz_consensus("k1", trials=5, seed=9)
+        b = fuzz_consensus("k1", trials=5, seed=9)
+        assert a == b
+
+
+class TestSoak:
+    """The actual invariant sweeps (sized to stay test-suite friendly)."""
+
+    def test_exact_bvc_never_breaks(self):
+        failures = fuzz_consensus("exact", trials=25, seed=101)
+        assert not failures, "\n".join(map(str, failures))
+
+    def test_algo_never_breaks(self):
+        failures = fuzz_consensus("algo", trials=25, seed=202)
+        assert not failures, "\n".join(map(str, failures))
+
+    def test_k1_never_breaks(self):
+        failures = fuzz_consensus("k1", trials=25, seed=303)
+        assert not failures, "\n".join(map(str, failures))
+
+    def test_averaging_never_breaks(self):
+        failures = fuzz_consensus("averaging", trials=10, seed=404)
+        assert not failures, "\n".join(map(str, failures))

@@ -1,0 +1,102 @@
+"""Tests for transcript recording and analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.transcripts import (
+    TranscriptSummary,
+    render_transcript,
+    summarize_transcript,
+)
+from repro.system import Adversary, SilentStrategy
+from repro.system.process import AsyncProcess, SyncProcess
+from repro.system.scheduler import AsyncScheduler, SynchronousScheduler
+
+
+class Chatter(SyncProcess):
+    def on_round(self, ctx, r, inbox):
+        if r == 0:
+            ctx.broadcast("hello", ctx.pid, round=0)
+        else:
+            ctx.decide(r)
+
+
+class AsyncChatter(AsyncProcess):
+    def on_start(self, ctx):
+        ctx.broadcast("tok", ctx.pid)
+        self.got = set()
+
+    def on_message(self, ctx, src, tag, payload):
+        self.got.add(src)
+        if len(self.got) >= ctx.n - ctx.f and not ctx.decided:
+            ctx.decide(1)
+
+
+class TestRecording:
+    def test_sync_transcript_recorded(self):
+        sched = SynchronousScheduler(
+            [Chatter() for _ in range(3)], f=0, record_transcript=True
+        )
+        res = sched.run()
+        assert res.transcript is not None
+        assert len(res.transcript) == 9  # 3 procs x 3 dests in round 0
+        assert all(r == 0 for r, _ in res.transcript)
+
+    def test_sync_off_by_default(self):
+        res = SynchronousScheduler([Chatter() for _ in range(3)], f=0).run()
+        assert res.transcript is None
+
+    def test_async_transcript_recorded(self):
+        sched = AsyncScheduler(
+            [AsyncChatter() for _ in range(3)], f=0, record_transcript=True
+        )
+        res = sched.run()
+        assert res.transcript is not None
+        assert len(res.transcript) == res.rounds  # one entry per delivery
+
+
+class TestSummaries:
+    def _transcript(self):
+        sched = SynchronousScheduler(
+            [Chatter() for _ in range(4)],
+            f=1,
+            adversary=Adversary(faulty=[3], strategy=SilentStrategy()),
+            record_transcript=True,
+        )
+        return sched.run()
+
+    def test_summary_counts(self):
+        res = self._transcript()
+        s = summarize_transcript(res.transcript, faulty=res.faulty)
+        assert s.total_messages == 12  # 3 correct procs x 4 dests
+        assert s.per_tag == {"hello": 12}
+        assert s.per_sender == {0: 4, 1: 4, 2: 4}
+        assert s.faulty_share == 0.0
+        assert s.busiest_round() == 0
+
+    def test_empty_summary(self):
+        s = summarize_transcript([])
+        assert s.total_messages == 0
+        assert s.busiest_round() is None
+        assert s.faulty_share == 0.0
+
+    def test_faulty_share(self):
+        sched = SynchronousScheduler(
+            [Chatter() for _ in range(4)],
+            f=1,
+            adversary=Adversary(faulty=[3]),  # honest-strategy faulty: sends
+            record_transcript=True,
+        )
+        res = sched.run()
+        s = summarize_transcript(res.transcript, faulty=res.faulty)
+        assert s.faulty_share == pytest.approx(4 / 16)
+
+    def test_render(self):
+        res = self._transcript()
+        text = render_transcript(res.transcript, max_rows=5)
+        assert "round/step 0" in text
+        assert "more)" in text  # truncation marker
+        full = render_transcript(res.transcript, max_rows=100)
+        assert full.count("->") == 12

@@ -1,0 +1,17 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A per-test deterministic generator."""
+    return np.random.default_rng(12345)
+
+
+def make_rng(seed: int) -> np.random.Generator:
+    """Deterministic generator for parametrised tests."""
+    return np.random.default_rng(seed)

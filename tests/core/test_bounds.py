@@ -1,0 +1,212 @@
+"""Tests for the bound catalogue (Theorems 1–6, Table 1, Conjectures)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import (
+    approx_bvc_min_n,
+    conjecture1_bound,
+    conjecture3_bound,
+    conjecture4_bound,
+    delta_p_approx_min_n,
+    delta_p_exact_min_n,
+    exact_bvc_min_n,
+    holder_transfer_factor,
+    input_dependent_min_n,
+    is_solvable,
+    k_relaxed_approx_min_n,
+    k_relaxed_exact_min_n,
+    kappa,
+    theorem9_bound,
+    theorem12_bound,
+    theorem14_bound,
+    theorem15_bound,
+)
+
+
+class TestTheorem1And2:
+    def test_scalar_case(self):
+        """d=1 reduces to the classical 3f+1."""
+        assert exact_bvc_min_n(1, 1) == 4
+        assert exact_bvc_min_n(1, 2) == 7
+
+    def test_vector_dominates(self):
+        """(d+1)f+1 dominates for d >= 3."""
+        assert exact_bvc_min_n(3, 1) == 5
+        assert exact_bvc_min_n(4, 2) == 11
+
+    def test_crossover_at_d2(self):
+        assert exact_bvc_min_n(2, 1) == 4  # max(4, 4)
+        assert exact_bvc_min_n(2, 5) == 16
+
+    def test_approx_always_d_plus_2(self):
+        assert approx_bvc_min_n(1, 1) == 4  # max(4, 4)
+        assert approx_bvc_min_n(3, 1) == 6
+        assert approx_bvc_min_n(3, 2) == 11
+
+    def test_f_zero_trivial(self):
+        assert exact_bvc_min_n(5, 0) == 2
+        assert approx_bvc_min_n(5, 0) == 2
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            exact_bvc_min_n(0, 1)
+        with pytest.raises(ValueError):
+            exact_bvc_min_n(2, -1)
+
+
+class TestKRelaxedBounds:
+    def test_k1_scalar_bound(self):
+        """§5.3: k=1 needs only 3f+1 regardless of d."""
+        for d in (2, 5, 10):
+            assert k_relaxed_exact_min_n(d, 1, 1) == 4
+            assert k_relaxed_approx_min_n(d, 1, 1) == 4
+
+    def test_middle_k_no_help(self):
+        """Theorem 3: 2 <= k <= d-1 gives the same bound as k=d."""
+        for d in (3, 4, 5):
+            for k in range(2, d + 1):
+                assert k_relaxed_exact_min_n(d, 1, k) == exact_bvc_min_n(d, 1)
+                assert k_relaxed_approx_min_n(d, 1, k) == approx_bvc_min_n(d, 1)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            k_relaxed_exact_min_n(3, 1, 0)
+        with pytest.raises(ValueError):
+            k_relaxed_exact_min_n(3, 1, 4)
+
+
+class TestDeltaPBounds:
+    def test_constant_delta_no_help(self):
+        """Theorem 5/6: any finite δ > 0 keeps the original bounds."""
+        for delta in (0.0, 0.5, 100.0):
+            assert delta_p_exact_min_n(3, 1, delta) == 5
+            assert delta_p_approx_min_n(3, 1, delta) == 6
+
+    def test_infinite_delta_trivial(self):
+        assert delta_p_exact_min_n(3, 1, math.inf) == 2
+        assert delta_p_approx_min_n(3, 1, math.inf) == 2
+
+    def test_input_dependent_floor(self):
+        """Lemma 10: 3f+1 is the floor for input-dependent δ."""
+        assert input_dependent_min_n(1) == 4
+        assert input_dependent_min_n(2) == 7
+        assert input_dependent_min_n(0) == 2
+
+    def test_rejects_negative_delta(self):
+        with pytest.raises(ValueError):
+            delta_p_exact_min_n(3, 1, -1.0)
+
+
+class TestIsSolvable:
+    def test_dispatch(self):
+        assert is_solvable("exact", 5, 3, 1)
+        assert not is_solvable("exact", 4, 3, 1)
+        assert is_solvable("k-exact", 4, 3, 1, k=1)
+        assert not is_solvable("k-exact", 4, 3, 1, k=2)
+        assert is_solvable("approx", 6, 3, 1)
+        assert is_solvable("delta-exact", 5, 3, 1, delta=0.5)
+        assert is_solvable("input-dependent", 4, 3, 1)
+
+    def test_unknown_problem(self):
+        with pytest.raises(ValueError):
+            is_solvable("nope", 4, 3, 1)
+
+
+class TestKappa:
+    def test_zero_above_tverberg(self):
+        assert kappa((3 + 1) * 1 + 1, 1, 3) == 0.0
+
+    def test_f1_at_bound(self):
+        """f=1, n=d+1: κ = 1/(n-2) (Theorem 9's max-edge bound)."""
+        assert kappa(4, 1, 3) == pytest.approx(1 / 2)
+        assert kappa(5, 1, 4) == pytest.approx(1 / 3)
+
+    def test_f2_at_bound(self):
+        """f>=2, n=(d+1)f: κ = 1/(d-1) (Theorem 12)."""
+        assert kappa(8, 2, 3) == pytest.approx(1 / 2)
+        assert kappa(10, 2, 4) == pytest.approx(1 / 3)
+
+    def test_conjecture_regime(self):
+        """3f+1 <= n < (d+1)f: κ = 1/(⌊n/f⌋-2) (Conjecture 1)."""
+        assert kappa(7, 2, 4) == pytest.approx(1 / (7 // 2 - 2))
+
+    def test_below_floor_rejected(self):
+        with pytest.raises(ValueError):
+            kappa(3, 1, 3)
+
+    def test_lp_transfer(self):
+        """Theorem 14 factor d^(1/2-1/p)."""
+        assert kappa(4, 1, 4, p=math.inf) == pytest.approx(0.5 * 2.0)
+        assert kappa(4, 1, 4, p=4) == pytest.approx(0.5 * 4 ** 0.25)
+
+    def test_holder_factor(self):
+        assert holder_transfer_factor(9, math.inf) == pytest.approx(3.0)
+        assert holder_transfer_factor(9, 2) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            holder_transfer_factor(9, 1.5)
+
+
+class TestInputDependentBoundFunctions:
+    def test_theorem9_formula(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 2.0]])
+        # min edge = 1, max edge = sqrt(5)... edges: 1, 2, sqrt5; min=1 max=sqrt5
+        want = min(1 / 2, math.sqrt(5) / (4 - 2))
+        assert theorem9_bound(pts, 4) == pytest.approx(want)
+
+    def test_theorem9_needs_n4(self):
+        with pytest.raises(ValueError):
+            theorem9_bound(np.zeros((2, 2)), 3)
+
+    def test_theorem12_formula(self, rng):
+        pts = rng.normal(size=(6, 3))
+        from repro.geometry.norms import max_edge_length
+
+        assert theorem12_bound(pts, 3) == pytest.approx(max_edge_length(pts) / 2)
+
+    def test_conjecture1_formula(self, rng):
+        pts = rng.normal(size=(5, 3))
+        from repro.geometry.norms import max_edge_length
+
+        assert conjecture1_bound(pts, 7, 2) == pytest.approx(
+            max_edge_length(pts) / (3 - 2)
+        )
+        with pytest.raises(ValueError):
+            conjecture1_bound(pts, 4, 2)  # ⌊4/2⌋-2 = 0
+
+    def test_theorem14_transfer(self, rng):
+        pts = rng.normal(size=(4, 4))
+        from repro.geometry.norms import max_edge_length
+
+        got = theorem14_bound(pts, 5, 1, 4, math.inf, kappa2=0.5)
+        assert got == pytest.approx(2.0 * 0.5 * max_edge_length(pts, math.inf))
+
+    def test_theorem15_uses_n_minus_f(self, rng):
+        pts = rng.normal(size=(4, 3))
+        from repro.geometry.norms import max_edge_length
+
+        # n=5, f=1 → κ(4,1,3) = 1/2
+        assert theorem15_bound(pts, 5, 1, 3) == pytest.approx(
+            0.5 * max_edge_length(pts)
+        )
+
+    def test_conjecture4(self, rng):
+        pts = rng.normal(size=(4, 3))
+        from repro.geometry.norms import max_edge_length
+
+        assert conjecture4_bound(pts, 4, 1, 3) == pytest.approx(
+            max_edge_length(pts) / (4 - 3)
+        )
+        with pytest.raises(ValueError):
+            conjecture4_bound(pts, 6, 2, 3)  # ⌊6/2⌋-3 = 0
+
+    def test_conjecture3(self, rng):
+        pts = rng.normal(size=(4, 4))
+        got = conjecture3_bound(pts, 5, 1, 4, 2)
+        from repro.geometry.norms import max_edge_length
+
+        assert got == pytest.approx(max_edge_length(pts) / 3)

@@ -1,0 +1,99 @@
+"""Unit tests for the broadcast-all template and its default handling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.broadcast_all import BroadcastAllProcess, broadcast_tag
+from repro.core.exact_bvc import ExactBVCProcess
+from repro.system.adversary import Adversary, SilentStrategy
+from repro.system.crypto import SignatureScheme
+from repro.system.process import Context
+from repro.system.scheduler import SynchronousScheduler
+
+
+class Recorder(BroadcastAllProcess):
+    """Records the agreed multiset instead of deciding a point."""
+
+    def decide_from_multiset(self, ctx: Context, S: np.ndarray) -> None:
+        ctx.decide(S)
+
+
+def run_recorders(n, f, inputs, adversary=None, transport="eig", seed=0):
+    rng = np.random.default_rng(seed)
+    scheme = SignatureScheme(n, rng) if transport == "dolev-strong" else None
+    procs = [
+        Recorder(n, f, pid, inputs[pid], transport=transport, scheme=scheme)
+        for pid in range(n)
+    ]
+    adversary = adversary or Adversary.none()
+    sched = SynchronousScheduler(
+        procs, f, adversary, rng=rng,
+        sign=scheme.signer_for(set(adversary.faulty)) if scheme else None,
+    )
+    return sched.run(), procs
+
+
+class TestBroadcastAll:
+    def test_tag_format(self):
+        assert broadcast_tag(3) == "bc:3"
+
+    def test_identical_multisets(self, rng):
+        inputs = rng.normal(size=(4, 2))
+        res, procs = run_recorders(4, 1, inputs)
+        mats = [res.decisions[p] for p in range(4)]
+        for m in mats[1:]:
+            np.testing.assert_array_equal(mats[0], m)
+
+    def test_multiset_matches_inputs_failure_free(self, rng):
+        inputs = rng.normal(size=(4, 3))
+        res, _ = run_recorders(4, 1, inputs)
+        np.testing.assert_allclose(res.decisions[0], inputs, atol=1e-12)
+
+    def test_silent_fault_substituted_deterministically(self, rng):
+        inputs = rng.normal(size=(4, 2))
+        adv = Adversary(faulty=[2], strategy=SilentStrategy())
+        res, procs = run_recorders(4, 1, inputs, adversary=adv)
+        S = res.decisions[0]
+        # faulty sender's slot replaced by the first valid broadcast value
+        np.testing.assert_allclose(S[2], S[0])
+        # every correct process recorded the substitution
+        for p in (0, 1, 3):
+            assert 2 in procs[p].defaulted_senders
+
+    def test_agreement_under_substitution(self, rng):
+        inputs = rng.normal(size=(4, 2))
+        adv = Adversary(faulty=[0], strategy=SilentStrategy())
+        res, _ = run_recorders(4, 1, inputs, adversary=adv)
+        mats = [res.decisions[p] for p in (1, 2, 3)]
+        for m in mats[1:]:
+            np.testing.assert_array_equal(mats[0], m)
+
+    def test_dolev_strong_transport_matches(self, rng):
+        inputs = rng.normal(size=(4, 2))
+        res, _ = run_recorders(4, 1, inputs, transport="dolev-strong")
+        np.testing.assert_allclose(res.decisions[0], inputs, atol=1e-12)
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError):
+            Recorder(4, 1, 0, np.zeros(2), transport="pigeon")
+
+    def test_dolev_strong_requires_scheme(self):
+        with pytest.raises(ValueError):
+            Recorder(4, 1, 0, np.zeros(2), transport="dolev-strong")
+
+    def test_om_requires_3f_plus_1(self):
+        with pytest.raises(ValueError):
+            ExactBVCProcess(3, 1, 0, np.zeros(2))
+
+    def test_ignores_foreign_tags(self, rng):
+        """Messages with non-broadcast tags are skipped, not crashed on."""
+        proc = Recorder(4, 1, 0, np.zeros(2))
+        ctx = Context(0, 4, 1, rng)
+        proc.on_round(ctx, 0, {1: [("weird", "payload"), ("bc:notanint", "x")]})
+        # no exception and protocol messages were emitted
+        assert ctx.outbox
+
+    def test_total_rounds_property(self):
+        assert Recorder(4, 1, 0, np.zeros(2)).total_rounds == 3

@@ -1,0 +1,122 @@
+"""Tests for Byzantine convex hull consensus."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.convex_consensus import (
+    ConvexConsensusProcess,
+    check_convex_consensus,
+    convex_consensus_decision,
+)
+from repro.geometry.polytope import Polytope
+from repro.system import (
+    Adversary,
+    EquivocateStrategy,
+    MutateStrategy,
+    SilentStrategy,
+    SynchronousScheduler,
+)
+
+
+def run_convex(inputs, f, adversary=None, seed=0):
+    n = inputs.shape[0]
+    procs = [
+        ConvexConsensusProcess(n, f, pid, inputs[pid]) for pid in range(n)
+    ]
+    sched = SynchronousScheduler(
+        procs, f, adversary, rng=np.random.default_rng(seed)
+    )
+    res = sched.run()
+    decisions = {p: v for p, v in res.correct_decisions.items()}
+    honest = np.array(
+        [inputs[p] for p in range(n) if not (adversary and adversary.is_faulty(p))]
+    )
+    return decisions, honest, res
+
+
+class TestDecisionRule:
+    def test_polytope_inside_every_subset_hull(self, rng):
+        S = rng.normal(size=(5, 2))
+        poly = convex_consensus_decision(S, 1)
+        from repro.geometry.intersections import f_subsets
+
+        for T in f_subsets(5, 1):
+            assert poly.is_subset_of_hull(S[list(T)])
+
+    def test_raises_below_bound(self, rng):
+        with pytest.raises(ValueError):
+            convex_consensus_decision(rng.normal(size=(4, 3)), 1)
+
+    def test_contains_exact_bvc_point(self, rng):
+        """The point algorithms decide is inside the set this one agrees
+        on — convex consensus generalises vector consensus."""
+        from repro.core.exact_bvc import exact_bvc_decision
+
+        S = rng.normal(size=(5, 2))
+        poly = convex_consensus_decision(S, 1)
+        assert poly.contains(exact_bvc_decision(S, 1), tol=1e-5)
+
+
+class TestProtocol:
+    def test_failure_free(self, rng):
+        inputs = rng.normal(size=(5, 2))
+        decisions, honest, res = run_convex(inputs, 1)
+        agreement, validity = check_convex_consensus(honest, decisions)
+        assert agreement and validity
+        assert res.completed
+
+    @pytest.mark.parametrize("strategy", [
+        None,
+        SilentStrategy(),
+        MutateStrategy(lambda tag, p, rng: (p[0], tuple(v + 9.0 for v in p[1]))
+                       if p[1] is not None else p),
+    ])
+    def test_byzantine_sweep(self, strategy, rng):
+        inputs = rng.normal(size=(5, 2))
+        adv = (
+            Adversary(faulty=[4])
+            if strategy is None
+            else Adversary(faulty=[4], strategy=strategy)
+        )
+        decisions, honest, res = run_convex(inputs, 1, adv)
+        agreement, validity = check_convex_consensus(honest, decisions)
+        assert agreement, "polytope agreement violated"
+        assert validity, "polytope validity violated"
+
+    def test_equivocator(self, rng):
+        def equiv(tag, payload, dst, r):
+            path, v = payload
+            if v is None:
+                return payload
+            return (path, tuple(x + dst for x in v))
+
+        inputs = rng.normal(size=(5, 2))
+        adv = Adversary(faulty=[0], strategy=EquivocateStrategy(equiv))
+        decisions, honest, _ = run_convex(inputs, 1, adv)
+        agreement, validity = check_convex_consensus(honest, decisions)
+        assert agreement and validity
+
+    def test_3d(self, rng):
+        inputs = rng.normal(size=(7, 3))
+        adv = Adversary(faulty=[6], strategy=SilentStrategy())
+        decisions, honest, _ = run_convex(inputs, 1, adv)
+        agreement, validity = check_convex_consensus(honest, decisions)
+        assert agreement and validity
+
+    def test_checker_empty_decisions(self):
+        assert check_convex_consensus(np.zeros((2, 2)), {}) == (False, False)
+
+    def test_checker_catches_disagreement(self, rng):
+        honest = rng.normal(size=(4, 2))
+        p1 = Polytope(honest[:3])
+        p2 = Polytope(honest[1:])
+        agreement, _ = check_convex_consensus(honest, {0: p1, 1: p2})
+        assert not agreement
+
+    def test_checker_catches_invalidity(self, rng):
+        honest = rng.normal(size=(4, 2))
+        outside = Polytope(honest + 100.0)
+        _, validity = check_convex_consensus(honest, {0: outside})
+        assert not validity

@@ -1,0 +1,77 @@
+"""Tests for the Lemma 10 ring demonstrator (Appendix A)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lemma10 import (
+    P,
+    Q,
+    R,
+    RING,
+    NaiveAveragingProcess,
+    lemma10_demo,
+    run_ring,
+)
+
+
+class TestRingStructure:
+    def test_six_nodes_alternating_roles(self):
+        assert len(RING) == 6
+        # every adjacent pair has distinct roles
+        for i in range(6):
+            assert RING[i][0] != RING[(i + 1) % 6][0]
+
+    def test_each_node_has_both_other_roles_adjacent(self):
+        for i, (role, _copy) in enumerate(RING):
+            neigh_roles = {RING[(i - 1) % 6][0], RING[(i + 1) % 6][0]}
+            assert neigh_roles == {P, Q, R} - {role}
+
+    def test_scenario_pairs_adjacent(self):
+        """The pairs the proof reasons about are adjacent in the ring:
+        (p0, q0) for scenario B and (p0, r1) for scenario C."""
+        idx = {rc: i for i, rc in enumerate(RING)}
+        assert abs(idx[(P, 0)] - idx[(Q, 0)]) % 6 in (1, 5)
+        assert abs(idx[(P, 0)] - idx[(R, 1)]) % 6 in (1, 5)
+
+
+class TestNaiveProtocol:
+    def test_decides_average(self):
+        res = run_ring(NaiveAveragingProcess, d=1)
+        assert len(res.decisions) == 6
+
+    def test_all_same_copy_neighbours_decide_input(self):
+        """q0 sits between p0 and r0 — all copy-0 — so it sees only 0s
+        and must decide 0 (the validity obligation made concrete)."""
+        res = run_ring(NaiveAveragingProcess, d=2)
+        np.testing.assert_allclose(res.decisions[(Q, 0)], 0.0)
+        np.testing.assert_allclose(res.decisions[(Q, 1)], 1.0)
+
+
+class TestLemma10Contradiction:
+    def test_agreement_violation_positive(self):
+        """The executable content of Lemma 10: the ring forces adjacent
+        processes p0 and r1 — who in scenario C form a correct pair —
+        into disagreement."""
+        res = lemma10_demo(d=2)
+        assert res.agreement_violation() > 0.1
+
+    def test_symmetry_of_copies(self):
+        """The construction is symmetric under 0 <-> 1 relabeling."""
+        res = lemma10_demo(d=1)
+        np.testing.assert_allclose(
+            res.decisions[(P, 0)] + res.decisions[(P, 1)], 1.0, atol=1e-9
+        )
+
+    def test_custom_inputs(self):
+        res = run_ring(
+            NaiveAveragingProcess, d=2,
+            zero=np.array([2.0, 2.0]), one=np.array([6.0, 6.0]),
+        )
+        assert res.agreement_violation() > 0.5
+
+    def test_dimensions(self):
+        for d in (1, 3, 5):
+            res = lemma10_demo(d=d)
+            assert res.p0.size == d

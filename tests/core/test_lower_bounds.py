@@ -1,0 +1,157 @@
+"""Tests for the executable impossibility constructions (Thms 3–6)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.lower_bounds import (
+    psi_i_separation,
+    theorem3_inputs,
+    theorem3_verdict,
+    theorem4_inputs,
+    theorem4_verdict,
+    theorem5_inputs,
+    theorem5_verdict,
+    theorem6_inputs,
+    theorem6_verdict,
+)
+from repro.geometry.intersections import gamma_delta_p, psi_k
+
+
+class TestMatrices:
+    def test_theorem3_shape_and_structure(self):
+        Y = theorem3_inputs(4, gamma=2.0, eps=1.0)
+        assert Y.shape == (5, 4)
+        # column structure (inputs are rows): input i has gamma at coord i
+        for i in range(4):
+            assert Y[i, i] == 2.0
+            assert np.all(Y[i, :i] == 0.0)
+            assert np.all(Y[i, i + 1 :] == 1.0)
+        assert np.all(Y[4] == -2.0)
+
+    def test_theorem3_validates_params(self):
+        with pytest.raises(ValueError):
+            theorem3_inputs(2)
+        with pytest.raises(ValueError):
+            theorem3_inputs(3, gamma=1.0, eps=2.0)
+
+    def test_theorem4_structure(self):
+        Y = theorem4_inputs(3, gamma=1.0, eps=0.2)
+        assert Y.shape == (5, 3)
+        assert np.all(Y[4] == 0.0)  # slow process d+2
+        assert np.all(Y[3] == -1.0)
+        assert Y[1, 2] == 0.4  # 2ε below diagonal... row 1 coord 2
+
+    def test_theorem4_validates_params(self):
+        with pytest.raises(ValueError):
+            theorem4_inputs(3, gamma=0.3, eps=0.2)  # needs 2ε < γ
+
+    def test_theorem5_structure(self):
+        Y = theorem5_inputs(3, x=6.0)
+        assert Y.shape == (4, 3)
+        np.testing.assert_allclose(Y[:3], np.eye(3) * 6.0)
+        assert np.all(Y[3] == 0.0)
+
+    def test_theorem6_structure(self):
+        Y = theorem6_inputs(3, x=6.0)
+        assert Y.shape == (5, 3)
+        assert np.all(Y[3] == 0.0) and np.all(Y[4] == 0.0)
+
+
+class TestTheorem3:
+    """n = d+1 is insufficient for k-relaxed exact BVC, 2 <= k <= d-1."""
+
+    @pytest.mark.parametrize("d", [3, 4, 5])
+    def test_psi_empty_at_k2(self, d):
+        assert theorem3_verdict(d, k=2)
+
+    def test_psi_empty_larger_k_by_lemma2(self):
+        """Lemma 2: emptiness propagates upward in k."""
+        d = 4
+        for k in (2, 3):
+            assert theorem3_verdict(d, k=k)
+
+    def test_k1_not_covered(self):
+        """The construction does NOT kill k=1 (the bound there is 3f+1)."""
+        Y = theorem3_inputs(3)
+        assert psi_k(Y, 1, 1)
+
+    def test_one_more_process_fixes_it(self, rng):
+        """With n = d+2 = (d+1)f+2 > (d+1)f+1, Γ (hence Ψ) is nonempty."""
+        d = 3
+        Y = theorem3_inputs(d)
+        extra = np.vstack([Y, Y.mean(axis=0, keepdims=True)])
+        assert psi_k(extra, 1, 2)
+
+    @pytest.mark.parametrize("eps_frac", [0.1, 0.5, 1.0])
+    def test_robust_to_eps_choice(self, eps_frac):
+        """Any 0 < ε <= γ works, per the proof."""
+        assert theorem3_verdict(3, k=2, gamma=1.0, eps=eps_frac)
+
+
+class TestTheorem5:
+    """Constant δ does not reduce n for exact (δ,p) consensus."""
+
+    @pytest.mark.parametrize("d", [2, 3, 4])
+    def test_empty_when_x_large(self, d):
+        delta = 0.25
+        assert theorem5_verdict(d, delta, x=2 * d * delta * 1.2)
+
+    @pytest.mark.parametrize("d", [2, 3])
+    def test_nonempty_when_x_small(self, d):
+        """Below the threshold the construction fails — showing the proof
+        needs x > 2dδ."""
+        delta = 0.25
+        assert not theorem5_verdict(d, delta, x=2 * d * delta * 0.5)
+
+    def test_transfer_to_l2(self):
+        """H_{(δ,2)} ⊆ H_{(δ,∞)}: if the L∞ intersection is empty the L2
+        one must be too (the paper's norm-transfer step)."""
+        d, delta = 3, 0.25
+        Y = theorem5_inputs(d, x=2 * d * delta * 1.5)
+        assert not gamma_delta_p(Y, 1, delta, math.inf)
+        assert not gamma_delta_p(Y, 1, delta, 2)
+
+    def test_delta_zero_reduces_to_gamma(self):
+        Y = theorem5_inputs(3, x=1.0)
+        assert theorem5_verdict(3, 0.0, x=1.0) == (not gamma_delta_p(Y, 1, 0.0, math.inf))
+
+
+class TestTheorem4:
+    """n = d+2 is insufficient for k-relaxed approximate BVC."""
+
+    @pytest.mark.parametrize("d", [3, 4])
+    def test_forced_separation(self, d):
+        sep, threshold = theorem4_verdict(d, k=2)
+        assert sep is None or sep >= threshold - 1e-7
+
+    def test_separation_scales_with_eps(self):
+        s1, t1 = theorem4_verdict(3, k=2, eps=0.1)
+        s2, t2 = theorem4_verdict(3, k=2, eps=0.2)
+        assert t2 == pytest.approx(2 * t1)
+        if s1 is not None and s2 is not None:
+            assert s2 >= s1 - 1e-9
+
+
+class TestTheorem6:
+    """Constant δ does not reduce n for approximate (δ,p) consensus."""
+
+    @pytest.mark.parametrize("d", [2, 3, 4])
+    def test_forced_separation(self, d):
+        delta, eps = 0.2, 0.1
+        sep, threshold = theorem6_verdict(d, delta, eps)
+        assert sep is None or sep > threshold - 1e-7
+
+    def test_small_x_no_separation(self):
+        """With x below 2dδ+ε the sets overlap (0 separation possible)."""
+        sep, eps = theorem6_verdict(3, delta=0.5, eps=0.1, x=0.2)
+        assert sep is not None and sep <= eps
+
+
+class TestPsiSeparationValidation:
+    def test_wrong_shape_rejected(self, rng):
+        with pytest.raises(ValueError):
+            psi_i_separation(rng.normal(size=(4, 3)))

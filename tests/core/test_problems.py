@@ -1,0 +1,158 @@
+"""Tests for problem specs and their validity/agreement checkers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.problems import (
+    ApproximateBVC,
+    DeltaPApproximateBVC,
+    DeltaPExactBVC,
+    ExactBVC,
+    KRelaxedApproximateBVC,
+    KRelaxedExactBVC,
+    agreement_diameter,
+)
+
+TRIANGLE = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+
+
+class TestAgreementDiameter:
+    def test_identical(self):
+        decs = {0: np.array([1.0, 2.0]), 1: np.array([1.0, 2.0])}
+        assert agreement_diameter(decs) == 0.0
+
+    def test_linf_semantics(self):
+        decs = {0: np.array([0.0, 0.0]), 1: np.array([0.3, -0.7])}
+        assert agreement_diameter(decs) == pytest.approx(0.7)
+
+    def test_single(self):
+        assert agreement_diameter({0: np.array([5.0])}) == 0.0
+
+
+class TestExactBVC:
+    def test_pass(self):
+        spec = ExactBVC(2, 1)
+        center = TRIANGLE.mean(axis=0)
+        rep = spec.check(TRIANGLE, {0: center, 1: center})
+        assert rep.ok
+
+    def test_agreement_failure(self):
+        spec = ExactBVC(2, 1)
+        rep = spec.check(
+            TRIANGLE, {0: TRIANGLE[0], 1: TRIANGLE[1]}
+        )
+        assert not rep.agreement_ok
+        assert rep.validity_ok  # both are vertices, hence valid
+
+    def test_validity_failure_reports_violation(self):
+        spec = ExactBVC(2, 1)
+        outside = np.array([5.0, 5.0])
+        rep = spec.check(TRIANGLE, {0: outside, 1: outside})
+        assert not rep.validity_ok
+        assert rep.violations[0] > 1.0
+
+    def test_termination_flag(self):
+        spec = ExactBVC(2, 1)
+        c = TRIANGLE.mean(axis=0)
+        rep = spec.check(TRIANGLE, {0: c}, terminated=False)
+        assert not rep.termination_ok
+        assert not rep.ok
+
+    def test_no_decisions_not_terminated(self):
+        spec = ExactBVC(2, 1)
+        rep = spec.check(TRIANGLE, {})
+        assert not rep.termination_ok
+
+    def test_dimension_validation(self):
+        spec = ExactBVC(3, 1)
+        with pytest.raises(ValueError):
+            spec.check(TRIANGLE, {})
+        with pytest.raises(ValueError):
+            ExactBVC(2, 1).check(TRIANGLE, {0: np.zeros(3)})
+
+    def test_rejects_bad_spec(self):
+        with pytest.raises(ValueError):
+            ExactBVC(0, 1)
+        with pytest.raises(ValueError):
+            ExactBVC(2, -1)
+
+
+class TestApproximateBVC:
+    def test_epsilon_agreement(self):
+        spec = ApproximateBVC(2, 1, epsilon=0.5)
+        a = TRIANGLE.mean(axis=0)
+        b = a + 0.3
+        rep = spec.check(TRIANGLE, {0: a, 1: np.clip(b, 0, 0.4)})
+        assert rep.agreement_ok
+
+    def test_epsilon_violated(self):
+        spec = ApproximateBVC(2, 1, epsilon=0.1)
+        rep = spec.check(TRIANGLE, {0: TRIANGLE[0], 1: TRIANGLE[1]})
+        assert not rep.agreement_ok
+
+    def test_rejects_nonpositive_epsilon(self):
+        with pytest.raises(ValueError):
+            ApproximateBVC(2, 1, epsilon=0.0)
+
+
+class TestKRelaxed:
+    def test_box_corner_valid_for_k1(self):
+        """The bounding-box corner is 1-relaxed valid but not 2-relaxed."""
+        corner = np.array([1.0, 1.0])
+        rep1 = KRelaxedExactBVC(2, 1, k=1).check(TRIANGLE, {0: corner, 1: corner})
+        assert rep1.validity_ok
+        rep2 = KRelaxedExactBVC(2, 1, k=2).check(TRIANGLE, {0: corner, 1: corner})
+        assert not rep2.validity_ok
+
+    def test_k_bounds_validated(self):
+        with pytest.raises(ValueError):
+            KRelaxedExactBVC(2, 1, k=3)
+        with pytest.raises(ValueError):
+            KRelaxedExactBVC(2, 1, k=0)
+
+    def test_approximate_variant(self):
+        spec = KRelaxedApproximateBVC(2, 1, k=1, epsilon=0.2)
+        corner = np.array([1.0, 1.0])
+        rep = spec.check(TRIANGLE, {0: corner, 1: corner - 0.1})
+        assert rep.agreement_ok and rep.validity_ok
+
+
+class TestDeltaP:
+    def test_within_delta_valid(self):
+        spec = DeltaPExactBVC(2, 1, delta=0.5, p=2)
+        point = np.array([-0.3, -0.3])  # dist to triangle = 0.3*sqrt2 < 0.5
+        rep = spec.check(TRIANGLE, {0: point, 1: point})
+        assert rep.validity_ok
+
+    def test_beyond_delta_invalid(self):
+        spec = DeltaPExactBVC(2, 1, delta=0.1, p=2)
+        point = np.array([-0.3, -0.3])
+        rep = spec.check(TRIANGLE, {0: point, 1: point})
+        assert not rep.validity_ok
+        assert rep.violations[0] == pytest.approx(0.3 * math.sqrt(2) - 0.1, abs=1e-6)
+
+    def test_norm_matters(self):
+        """The same point can be δ-valid under L_inf but not under L1."""
+        point = np.array([-0.3, -0.3])
+        ok_inf = DeltaPExactBVC(2, 1, delta=0.35, p=math.inf).check(
+            TRIANGLE, {0: point}
+        )
+        assert ok_inf.validity_ok
+        bad_l1 = DeltaPExactBVC(2, 1, delta=0.35, p=1).check(TRIANGLE, {0: point})
+        assert not bad_l1.validity_ok
+
+    def test_rejects_negative_delta(self):
+        with pytest.raises(ValueError):
+            DeltaPExactBVC(2, 1, delta=-0.1)
+
+    def test_approximate_combines_both(self):
+        spec = DeltaPApproximateBVC(2, 1, delta=0.5, p=2, epsilon=0.05)
+        a = np.array([-0.2, -0.2])
+        rep = spec.check(TRIANGLE, {0: a, 1: a + 0.01})
+        assert rep.ok
+        rep2 = spec.check(TRIANGLE, {0: a, 1: a + 0.2})
+        assert not rep2.agreement_ok

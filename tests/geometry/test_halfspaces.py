@@ -1,0 +1,95 @@
+"""Tests for supporting/separating hyperplanes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.halfspaces import (
+    Halfspace,
+    hull_halfspaces,
+    separating_halfspace,
+    supporting_halfspace,
+)
+
+SQUARE = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+
+
+class TestHalfspace:
+    def test_contains(self):
+        h = Halfspace(np.array([1.0, 0.0]), 1.0)
+        assert h.contains([0.5, 7.0])
+        assert not h.contains([1.5, 0.0])
+
+    def test_signed_distance(self):
+        h = Halfspace(np.array([0.0, 1.0]), 2.0)
+        assert h.signed_distance([0.0, 5.0]) == pytest.approx(3.0)
+        assert h.signed_distance([0.0, 1.0]) == pytest.approx(-1.0)
+
+
+class TestSeparating:
+    def test_none_for_interior(self):
+        assert separating_halfspace(SQUARE, [0.5, 0.5]) is None
+
+    def test_separates_exterior(self, rng):
+        for seed in range(10):
+            r = np.random.default_rng(seed)
+            pts = r.normal(size=(5, 3))
+            x = pts.max(axis=0) + 1.0 + r.random(3)
+            h = separating_halfspace(pts, x)
+            assert h is not None
+            # hull inside, x outside
+            for p in pts:
+                assert h.contains(p, tol=1e-7)
+            assert h.signed_distance(x) > 0
+
+    def test_unit_normal(self, rng):
+        pts = rng.normal(size=(4, 3))
+        h = separating_halfspace(pts, pts.max(axis=0) + 2.0)
+        assert np.linalg.norm(h.normal) == pytest.approx(1.0)
+
+    def test_separation_distance_matches_projection(self):
+        h = separating_halfspace(SQUARE, [3.0, 0.5])
+        assert h.signed_distance([3.0, 0.5]) == pytest.approx(2.0)
+
+
+class TestSupporting:
+    def test_square_right_face(self):
+        h = supporting_halfspace(SQUARE, [1.0, 0.0])
+        assert h.offset == pytest.approx(1.0)
+        for p in SQUARE:
+            assert h.contains(p, tol=1e-9)
+
+    def test_rejects_zero_direction(self):
+        with pytest.raises(ValueError):
+            supporting_halfspace(SQUARE, [0.0, 0.0])
+
+    def test_touches_hull(self, rng):
+        pts = rng.normal(size=(6, 3))
+        g = rng.normal(size=3)
+        h = supporting_halfspace(pts, g)
+        # at least one point achieves the support value
+        vals = pts @ h.normal
+        assert vals.max() == pytest.approx(h.offset, abs=1e-9)
+
+
+class TestHRepresentation:
+    def test_square_facets(self):
+        hs = hull_halfspaces(SQUARE)
+        assert len(hs) == 4
+        # centroid strictly inside all
+        for h in hs:
+            assert h.signed_distance([0.5, 0.5]) < 0
+
+    def test_membership_via_facets(self, rng):
+        pts = rng.normal(size=(8, 3))
+        hs = hull_halfspaces(pts)
+        centroid = pts.mean(axis=0)
+        assert all(h.contains(centroid) for h in hs)
+        outside = pts.max(axis=0) + 1.0
+        assert any(not h.contains(outside) for h in hs)
+
+    def test_degenerate_raises(self):
+        line = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        with pytest.raises(ValueError):
+            hull_halfspaces(line)

@@ -1,0 +1,208 @@
+"""Tests for the Γ / Ψ hull-intersection operators."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.distance import distance_to_hull, in_hull
+from repro.geometry.intersections import (
+    f_subsets,
+    gamma,
+    gamma_delta_p,
+    gamma_delta_p_point,
+    gamma_point,
+    intersect_hulls,
+    intersection_point,
+    psi_k,
+    psi_k_point,
+)
+
+
+class TestFSubsets:
+    def test_count(self):
+        assert len(f_subsets(5, 2)) == 10  # C(5,2) complements
+
+    def test_sizes(self):
+        for T in f_subsets(6, 2):
+            assert len(T) == 4
+
+    def test_f_zero_single_full(self):
+        assert f_subsets(4, 0) == [(0, 1, 2, 3)]
+
+    def test_rejects_bad_f(self):
+        with pytest.raises(ValueError):
+            f_subsets(3, 4)
+        with pytest.raises(ValueError):
+            f_subsets(3, -1)
+
+
+class TestIntersectHulls:
+    def test_overlapping_squares(self):
+        a = np.array([[0.0, 0.0], [2.0, 0.0], [0.0, 2.0], [2.0, 2.0]])
+        b = a + 1.0
+        pt = intersection_point([a, b])
+        assert pt is not None
+        assert in_hull(a, pt) and in_hull(b, pt)
+
+    def test_disjoint_squares(self):
+        a = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        b = a + 5.0
+        assert intersection_point([a, b]) is None
+        assert not intersect_hulls([a, b])
+
+    def test_touching_at_point(self):
+        a = np.array([[0.0, 0.0], [1.0, 0.0]])
+        b = np.array([[1.0, 0.0], [2.0, 0.0]])
+        pt = intersection_point([a, b])
+        assert pt is not None
+        np.testing.assert_allclose(pt, [1.0, 0.0], atol=1e-6)
+
+    def test_single_hull(self, rng):
+        pts = rng.normal(size=(4, 3))
+        pt = intersection_point([pts])
+        assert pt is not None and in_hull(pts, pt, tol=1e-6)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            intersection_point([np.zeros((2, 2)), np.zeros((2, 3))])
+
+    def test_empty_list(self):
+        with pytest.raises(ValueError):
+            intersection_point([])
+
+    def test_deterministic(self, rng):
+        a = rng.normal(size=(5, 3))
+        b = rng.normal(size=(5, 3)) * 0.5
+        p1 = intersection_point([a, b])
+        p2 = intersection_point([a, b])
+        if p1 is None:
+            assert p2 is None
+        else:
+            np.testing.assert_allclose(p1, p2, atol=1e-9)
+
+
+class TestGamma:
+    def test_nonempty_above_tverberg_bound(self, rng):
+        """n >= (d+1)f+1 => Γ nonempty (Tverberg / Theorem 1)."""
+        for d, f in [(2, 1), (3, 1), (2, 2)]:
+            n = (d + 1) * f + 1
+            Y = rng.normal(size=(n, d))
+            pt = gamma_point(Y, f)
+            assert pt is not None, f"Γ empty at the Tverberg bound d={d}, f={f}"
+            # the point is in the hull of EVERY size n-f subset
+            for T in f_subsets(n, f):
+                assert in_hull(Y[list(T)], pt, tol=1e-6)
+
+    def test_f_zero_is_hull(self, rng):
+        Y = rng.normal(size=(4, 2))
+        pt = gamma_point(Y, 0)
+        assert pt is not None and in_hull(Y, pt, tol=1e-6)
+
+    def test_generic_empty_below_bound(self, rng):
+        """d+1 generic points with f=1 in R^d: Γ empty (simplex interior
+        loses a vertex per subset — the facets don't all meet)."""
+        Y = rng.normal(size=(4, 3))  # n=4 < (d+1)f+1=5
+        assert not gamma(Y, 1)
+
+    def test_duplicated_inputs_can_rescue(self):
+        """Multiset semantics: enough duplicates make Γ nonempty even
+        with few distinct points."""
+        Y = np.array([[0.0, 0.0]] * 4 + [[1.0, 1.0]])
+        pt = gamma_point(Y, 1)
+        assert pt is not None
+        np.testing.assert_allclose(pt, [0.0, 0.0], atol=1e-6)
+
+
+class TestPsiK:
+    def test_k_equals_d_matches_gamma(self, rng):
+        Y = rng.normal(size=(5, 2))
+        g = gamma_point(Y, 1)
+        p = psi_k_point(Y, 1, 2)
+        assert (g is None) == (p is None)
+
+    def test_k1_nonempty_often(self, rng):
+        """H_1 is the bounding box — much easier to intersect."""
+        Y = rng.normal(size=(4, 3))
+        assert psi_k(Y, 1, 1)
+
+    def test_monotone_in_k(self, rng):
+        """Lemma 1 ⇒ Ψ with larger k is contained in Ψ with smaller k:
+        emptiness is monotone increasing in k."""
+        for seed in range(5):
+            r = np.random.default_rng(seed)
+            Y = r.normal(size=(5, 4))
+            status = [psi_k(Y, 1, k) for k in (1, 2, 3, 4)]
+            # once empty, stays empty for larger k
+            seen_empty = False
+            for s in status:
+                if not s:
+                    seen_empty = True
+                else:
+                    assert not seen_empty, "Ψ became nonempty as k grew"
+
+    def test_point_is_member_of_all_cylinders(self, rng):
+        from repro.geometry.relaxed import KRelaxedHull
+
+        Y = rng.normal(size=(6, 3))
+        pt = psi_k_point(Y, 1, 2)
+        if pt is None:
+            pytest.skip("random instance had empty Ψ")
+        for T in f_subsets(6, 1):
+            assert KRelaxedHull(Y[list(T)], 2).contains(pt, tol=1e-6)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            psi_k_point(np.zeros((3, 2)), 1, 3)
+
+
+class TestGammaDeltaP:
+    def test_delta_zero_matches_gamma(self, rng):
+        Y = rng.normal(size=(4, 3))
+        assert gamma_delta_p(Y, 1, 0.0, math.inf) == gamma(Y, 1)
+
+    def test_large_delta_always_nonempty(self, rng):
+        Y = rng.normal(size=(4, 3))
+        assert gamma_delta_p(Y, 1, 100.0, math.inf)
+        assert gamma_delta_p(Y, 1, 100.0, 2)
+        assert gamma_delta_p(Y, 1, 100.0, 1)
+
+    def test_monotone_in_delta(self, rng):
+        """Lemma 6 family: feasibility is monotone in δ."""
+        Y = rng.normal(size=(4, 3))
+        feas = [gamma_delta_p(Y, 1, dl, math.inf) for dl in (0.0, 0.1, 0.5, 2.0, 10.0)]
+        for a, b in zip(feas, feas[1:]):
+            assert b or not a  # once feasible, stays feasible
+
+    def test_point_within_delta_of_each_subset(self, rng):
+        Y = rng.normal(size=(4, 3))
+        delta = 1.0
+        pt = gamma_delta_p_point(Y, 1, delta, math.inf)
+        assert pt is not None
+        for T in f_subsets(4, 1):
+            dist = distance_to_hull(Y[list(T)], pt, math.inf).distance
+            assert dist <= delta + 1e-6
+
+    def test_p2_uses_minimax(self, rng):
+        from repro.geometry.minimax import delta_star
+
+        Y = rng.normal(size=(4, 3))
+        ds = delta_star(Y, 1)
+        assert gamma_delta_p(Y, 1, ds.value * 1.01 + 1e-9, 2)
+        if ds.value > 1e-6:
+            assert not gamma_delta_p(Y, 1, ds.value * 0.9, 2)
+
+    def test_p1_point(self, rng):
+        Y = rng.normal(size=(4, 2))
+        pt = gamma_delta_p_point(Y, 1, 2.0, 1)
+        assert pt is not None
+        for T in f_subsets(4, 1):
+            assert distance_to_hull(Y[list(T)], pt, 1).distance <= 2.0 + 1e-6
+
+    def test_rejects_negative_delta(self):
+        with pytest.raises(ValueError):
+            gamma_delta_p_point(np.zeros((3, 2)), 1, -1.0, 2)

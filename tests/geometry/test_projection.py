@@ -1,0 +1,109 @@
+"""Tests for coordinate projections g_D and cylinders (paper §5.1)."""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.geometry.projection import (
+    Cylinder,
+    enumerate_coordinate_subsets,
+    project,
+    project_multiset,
+    validate_subset,
+)
+
+
+class TestValidateSubset:
+    def test_sorts(self):
+        assert validate_subset([3, 1], 5) == (1, 3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            validate_subset([], 4)
+
+    def test_rejects_repeats(self):
+        with pytest.raises(ValueError):
+            validate_subset([1, 1], 4)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            validate_subset([4], 4)
+        with pytest.raises(ValueError):
+            validate_subset([-1], 4)
+
+
+class TestEnumerate:
+    def test_counts(self):
+        for d in range(1, 7):
+            for k in range(1, d + 1):
+                got = list(enumerate_coordinate_subsets(d, k))
+                assert len(got) == math.comb(d, k)
+                assert len(set(got)) == len(got)
+
+    def test_matches_itertools(self):
+        assert list(enumerate_coordinate_subsets(4, 2)) == list(
+            combinations(range(4), 2)
+        )
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            list(enumerate_coordinate_subsets(3, 0))
+        with pytest.raises(ValueError):
+            list(enumerate_coordinate_subsets(3, 4))
+
+
+class TestProject:
+    def test_paper_example(self):
+        """d=4, D={1,3} (1-based) = {0,2} (0-based), u=(7,-4,-2,0)."""
+        u = np.array([7.0, -4.0, -2.0, 0.0])
+        np.testing.assert_allclose(project(u, [0, 2]), [7.0, -2.0])
+
+    def test_full_projection_identity(self, rng):
+        u = rng.normal(size=5)
+        np.testing.assert_allclose(project(u, range(5)), u)
+
+    def test_stack(self, rng):
+        S = rng.normal(size=(6, 4))
+        out = project_multiset(S, [1, 3])
+        np.testing.assert_allclose(out, S[:, [1, 3]])
+
+    def test_multiset_preserves_duplicates(self):
+        S = np.array([[1.0, 2.0], [1.0, 2.0], [3.0, 4.0]])
+        out = project_multiset(S, [0])
+        assert out.shape == (3, 1)
+
+
+class TestCylinder:
+    def test_paper_inverse_example(self):
+        """g_D^{-1}((7,-2)) = (7, *, -2, *): membership checks only D."""
+        cyl = Cylinder(4, [0, 2], np.array([[7.0, -2.0]]))
+        assert cyl.contains([7.0, 99.0, -2.0, -99.0])
+        assert not cyl.contains([7.0, 0.0, -1.9, 0.0])
+
+    def test_contains_hull_of_projections(self, rng):
+        S = rng.normal(size=(5, 3))
+        D = (0, 2)
+        cyl = Cylinder(3, D, S[:, list(D)])
+        # any point whose projection is a convex combination is inside
+        w = rng.dirichlet(np.ones(5))
+        u = np.array([S[:, 0] @ w, 1234.5, S[:, 2] @ w])
+        assert cyl.contains(u)
+
+    def test_distance_positive_outside(self):
+        cyl = Cylinder(3, [0], np.array([[0.0], [1.0]]))
+        assert cyl.distance([2.0, 0.0, 0.0]) == pytest.approx(1.0)
+        assert cyl.distance([0.5, 9.0, 9.0]) == pytest.approx(0.0)
+
+    def test_dim_validation(self):
+        with pytest.raises(ValueError):
+            Cylinder(3, [0, 1], np.array([[1.0]]))  # base dim mismatch
+        cyl = Cylinder(3, [0], np.array([[1.0]]))
+        with pytest.raises(ValueError):
+            cyl.contains([1.0, 2.0])  # wrong ambient dimension
+
+    def test_repr(self):
+        assert "Cylinder" in repr(Cylinder(3, [1], np.array([[0.0]])))

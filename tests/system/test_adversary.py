@@ -1,0 +1,115 @@
+"""Tests for Byzantine strategies and the Adversary container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.system.adversary import (
+    Adversary,
+    AdversaryView,
+    CrashStrategy,
+    DuplicateStrategy,
+    EquivocateStrategy,
+    HonestStrategy,
+    MutateStrategy,
+    SilentStrategy,
+)
+from repro.system.messages import Message
+
+
+def view(round=0):
+    return AdversaryView(round=round, n=4, f=1, rng=np.random.default_rng(0))
+
+
+def msg(dst=1, payload="v", src=0):
+    return Message(src, dst, "t", payload)
+
+
+class TestStrategies:
+    def test_honest_passthrough(self):
+        assert HonestStrategy().transform(msg(), view()) == [msg()]
+
+    def test_silent_drops_everything(self):
+        assert SilentStrategy().transform(msg(), view()) == []
+
+    def test_crash_before_after(self):
+        s = CrashStrategy(crash_round=2)
+        assert s.transform(msg(), view(round=1)) == [msg()]
+        assert s.transform(msg(), view(round=2)) == []
+        assert s.transform(msg(), view(round=5)) == []
+
+    def test_crash_partial_recipients(self):
+        s = CrashStrategy(crash_round=1, partial_recipients={2})
+        assert s.transform(msg(dst=2), view(round=1)) == [msg(dst=2)]
+        assert s.transform(msg(dst=3), view(round=1)) == []
+
+    def test_mutate_changes_payload(self):
+        s = MutateStrategy(lambda tag, p, rng: p + "!")
+        out = s.transform(msg(payload="v"), view())
+        assert out[0].payload == "v!"
+        assert out[0].dst == 1
+
+    def test_mutate_drop_with_none(self):
+        s = MutateStrategy(lambda tag, p, rng: None)
+        assert s.transform(msg(), view()) == []
+
+    def test_equivocate_per_destination(self):
+        s = EquivocateStrategy(lambda tag, p, dst, rng: f"{p}-{dst}")
+        assert s.transform(msg(dst=2), view())[0].payload == "v-2"
+        assert s.transform(msg(dst=3), view())[0].payload == "v-3"
+
+    def test_duplicate(self):
+        s = DuplicateStrategy(3)
+        assert len(s.transform(msg(), view())) == 3
+
+    def test_duplicate_rejects_zero(self):
+        with pytest.raises(ValueError):
+            DuplicateStrategy(0)
+
+
+class TestAdversary:
+    def test_is_faulty(self):
+        adv = Adversary(faulty=[1, 3])
+        assert adv.is_faulty(1) and adv.is_faulty(3)
+        assert not adv.is_faulty(0)
+
+    def test_strategy_for_nonfaulty_raises(self):
+        adv = Adversary(faulty=[1])
+        with pytest.raises(ValueError):
+            adv.strategy_for(0)
+
+    def test_per_process_overrides(self):
+        adv = Adversary(
+            faulty=[1, 2],
+            strategy=SilentStrategy(),
+            strategies={2: HonestStrategy()},
+        )
+        assert isinstance(adv.strategy_for(1), SilentStrategy)
+        assert isinstance(adv.strategy_for(2), HonestStrategy)
+
+    def test_override_nonfaulty_rejected(self):
+        with pytest.raises(ValueError):
+            Adversary(faulty=[1], strategies={0: SilentStrategy()})
+
+    def test_custom_process_nonfaulty_rejected(self):
+        with pytest.raises(ValueError):
+            Adversary(faulty=[1], custom_processes={0: object()})
+
+    def test_transform_outbox_applies(self):
+        adv = Adversary(faulty=[0], strategy=SilentStrategy())
+        out = adv.transform_outbox(0, [msg(), msg(dst=2)], view())
+        assert out == []
+
+    def test_spoofed_sender_rejected(self):
+        class Spoofer(HonestStrategy):
+            def inject(self, pid, v):
+                return [Message(pid + 1, 0, "t", "forged")]
+
+        adv = Adversary(faulty=[0], strategy=Spoofer())
+        with pytest.raises(ValueError):
+            adv.transform_outbox(0, [], view())
+
+    def test_none_adversary(self):
+        adv = Adversary.none()
+        assert not adv.faulty

@@ -1,0 +1,158 @@
+"""Tests for OM(f)/EIG Byzantine broadcast: validity + agreement under a
+battery of adversaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.system.adversary import (
+    Adversary,
+    CrashStrategy,
+    DuplicateStrategy,
+    EquivocateStrategy,
+    MutateStrategy,
+    SilentStrategy,
+)
+from repro.system.broadcast.om import EIGState, eig_total_rounds
+
+from .broadcast_harness import run_eig
+
+
+def correct_values(res):
+    return [res.decisions[p] for p in sorted(res.correct_decisions)]
+
+
+class TestEIGStateUnit:
+    def test_rejects_small_n(self):
+        with pytest.raises(ValueError):
+            EIGState(3, 1, 0, 0)
+
+    def test_rejects_bad_ids(self):
+        with pytest.raises(ValueError):
+            EIGState(4, 1, 5, 0)
+
+    def test_commander_round0_messages(self):
+        st = EIGState(4, 1, 2, 2)
+        msgs = st.messages_for_round(0, "v")
+        assert len(msgs) == 4
+        assert all(payload == ((2,), "v") for _, payload in msgs)
+
+    def test_non_commander_round0_silent(self):
+        st = EIGState(4, 1, 2, 0)
+        assert st.messages_for_round(0, None) == []
+
+    def test_receive_validates_path(self):
+        st = EIGState(4, 1, 0, 1)
+        st.receive(1, 0, ((0,), "v"))  # valid
+        assert st.tree == {(0,): "v"}
+        st.receive(1, 2, ((0,), "w"))  # last hop mismatch: src=2 but path (0,)
+        assert st.tree == {(0,): "v"}
+        st.receive(1, 0, ((1, 1), "w"))  # repeated ids + wrong length
+        st.receive(2, 0, ((0, 0), "w"))  # repeats
+        st.receive(2, 3, ((0, 9), "w"))  # out of range... also last!=src
+        assert st.tree == {(0,): "v"}
+
+    def test_first_write_wins(self):
+        st = EIGState(4, 1, 0, 1)
+        st.receive(1, 0, ((0,), "v"))
+        st.receive(1, 0, ((0,), "other"))
+        assert st.tree[(0,)] == "v"
+
+    def test_malformed_payload_ignored(self):
+        st = EIGState(4, 1, 0, 1)
+        st.receive(1, 0, "garbage")
+        st.receive(1, 0, (None, "x"))
+        assert st.tree == {}
+
+    def test_total_rounds(self):
+        assert eig_total_rounds(1) == 3
+        assert eig_total_rounds(2) == 4
+
+
+class TestEIGFailureFree:
+    @pytest.mark.parametrize("n,f", [(4, 1), (5, 1), (7, 2)])
+    def test_validity(self, n, f):
+        res = run_eig(n, f, commander=0, value=("v", 1.5))
+        assert all(v == ("v", 1.5) for v in res.decisions.values())
+
+
+class TestEIGFaultyCommander:
+    def test_equivocating_commander_agreement(self):
+        def equiv(tag, payload, dst, rng):
+            path, v = payload
+            return (path, f"lie-{dst}") if len(path) == 1 else (path, v)
+
+        for seed in range(3):
+            res = run_eig(
+                4, 1, 0, "V",
+                adversary=Adversary(faulty=[0], strategy=EquivocateStrategy(equiv)),
+                seed=seed,
+            )
+            vals = correct_values(res)
+            assert len(set(map(str, vals))) == 1, "agreement violated"
+
+    def test_silent_commander_default(self):
+        res = run_eig(
+            4, 1, 0, "V", adversary=Adversary(faulty=[0], strategy=SilentStrategy())
+        )
+        assert all(v is None for v in correct_values(res))
+
+    def test_crash_mid_broadcast_agreement(self):
+        """Commander crashes sending round 0 to only some recipients —
+        the classic hard case; agreement must still hold."""
+        for recips in [{1}, {1, 2}, {2, 3}]:
+            res = run_eig(
+                4, 1, 0, "V",
+                adversary=Adversary(
+                    faulty=[0], strategy=CrashStrategy(0, partial_recipients=recips)
+                ),
+            )
+            vals = correct_values(res)
+            assert len(set(map(str, vals))) == 1
+
+
+class TestEIGFaultyLieutenant:
+    @pytest.mark.parametrize("strategy_factory", [
+        lambda: SilentStrategy(),
+        lambda: MutateStrategy(lambda tag, p, rng: (p[0], "FAKE")),
+        lambda: EquivocateStrategy(lambda tag, p, dst, rng: (p[0], f"L{dst}")),
+        lambda: DuplicateStrategy(3),
+        lambda: CrashStrategy(1),
+    ])
+    def test_validity_with_correct_commander(self, strategy_factory):
+        """Whatever a faulty lieutenant does, correct processes decide
+        the correct commander's value."""
+        res = run_eig(
+            4, 1, 0, "TRUTH",
+            adversary=Adversary(faulty=[2], strategy=strategy_factory()),
+        )
+        for p in (1, 3):
+            assert res.decisions[p] == "TRUTH"
+
+    def test_two_faulty_lieutenants_f2(self):
+        res = run_eig(
+            7, 2, 0, "TRUTH",
+            adversary=Adversary(
+                faulty=[3, 5],
+                strategies={
+                    3: MutateStrategy(lambda tag, p, rng: (p[0], "A")),
+                    5: EquivocateStrategy(lambda tag, p, dst, rng: (p[0], f"B{dst}")),
+                },
+            ),
+        )
+        for p in (1, 2, 4, 6):
+            assert res.decisions[p] == "TRUTH"
+
+    def test_faulty_commander_and_lieutenant_f2(self):
+        def equiv(tag, payload, dst, rng):
+            path, v = payload
+            return (path, dst % 2)
+
+        res = run_eig(
+            7, 2, 0, "V",
+            adversary=Adversary(
+                faulty=[0, 4], strategy=EquivocateStrategy(equiv)
+            ),
+        )
+        vals = [res.decisions[p] for p in (1, 2, 3, 5, 6)]
+        assert len(set(map(str, vals))) == 1

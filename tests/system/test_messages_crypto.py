@@ -1,0 +1,87 @@
+"""Tests for message envelopes, canonical serialisation, and signatures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.system.crypto import Signature, SignatureScheme
+from repro.system.messages import Message, canonical_bytes
+
+
+class TestCanonicalBytes:
+    def test_ndarray_stable(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([1.0, 2.0, 3.0])
+        assert canonical_bytes(a) == canonical_bytes(b)
+
+    def test_ndarray_value_sensitive(self):
+        assert canonical_bytes(np.array([1.0])) != canonical_bytes(np.array([2.0]))
+
+    def test_shape_sensitive(self):
+        assert canonical_bytes(np.zeros((2, 3))) != canonical_bytes(np.zeros((3, 2)))
+
+    def test_nested_structures(self):
+        x = ("tag", [np.array([1.0]), {"k": np.float64(2.0)}])
+        y = ("tag", [np.array([1.0]), {"k": np.float64(2.0)}])
+        assert canonical_bytes(x) == canonical_bytes(y)
+
+    def test_dict_order_insensitive(self):
+        assert canonical_bytes({"a": 1, "b": 2}) == canonical_bytes({"b": 2, "a": 1})
+
+    def test_tuple_vs_list_equal(self):
+        assert canonical_bytes((1, 2)) == canonical_bytes([1, 2])
+
+
+class TestMessage:
+    def test_repr_contains_route(self):
+        m = Message(0, 1, "x", None, round=3)
+        assert "0->1" in repr(m)
+        assert "r=3" in repr(m)
+
+    def test_frozen(self):
+        m = Message(0, 1, "x", None)
+        with pytest.raises(AttributeError):
+            m.src = 2
+
+
+class TestSignatures:
+    def test_sign_verify_roundtrip(self, rng):
+        scheme = SignatureScheme(4, rng)
+        sig = scheme.sign(2, ("hello", np.array([1.0])))
+        assert scheme.verify(("hello", np.array([1.0])), sig)
+
+    def test_wrong_message_fails(self, rng):
+        scheme = SignatureScheme(4, rng)
+        sig = scheme.sign(2, "hello")
+        assert not scheme.verify("world", sig)
+
+    def test_wrong_signer_fails(self, rng):
+        scheme = SignatureScheme(4, rng)
+        sig = scheme.sign(2, "hello")
+        forged = Signature(3, sig.digest)
+        assert not scheme.verify("hello", forged)
+
+    def test_unknown_signer_rejected(self, rng):
+        scheme = SignatureScheme(4, rng)
+        with pytest.raises(ValueError):
+            scheme.sign(7, "x")
+        assert not scheme.verify("x", Signature(9, b"\x00" * 32))
+
+    def test_restricted_signer_capability(self, rng):
+        scheme = SignatureScheme(4, rng)
+        sign = scheme.signer_for({1, 2})
+        sig = sign(1, "payload")
+        assert scheme.verify("payload", sig)
+        with pytest.raises(PermissionError):
+            sign(0, "payload")  # cannot sign as a correct process
+
+    def test_distinct_runs_distinct_keys(self):
+        s1 = SignatureScheme(3, np.random.default_rng(1))
+        s2 = SignatureScheme(3, np.random.default_rng(2))
+        sig = s1.sign(0, "x")
+        assert not s2.verify("x", sig)
+
+    def test_repr(self, rng):
+        scheme = SignatureScheme(2, rng)
+        assert "Sig(p0" in repr(scheme.sign(0, "x"))

@@ -1,0 +1,62 @@
+"""Tests for the FIFO complete-graph network buffer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.system.messages import Message
+from repro.system.network import Network
+
+
+def msg(src, dst, tag="t", payload=None, seq=0):
+    return Message(src, dst, tag, payload, seq=seq)
+
+
+class TestNetwork:
+    def test_submit_and_pop_fifo(self):
+        net = Network(3)
+        net.submit(msg(0, 1, payload="a", seq=0))
+        net.submit(msg(0, 1, payload="b", seq=1))
+        assert net.pop((0, 1)).payload == "a"
+        assert net.pop((0, 1)).payload == "b"
+
+    def test_out_of_range_rejected(self):
+        net = Network(2)
+        with pytest.raises(ValueError):
+            net.submit(msg(0, 5))
+
+    def test_pending_links_sorted_deterministic(self):
+        net = Network(3)
+        net.submit(msg(2, 0))
+        net.submit(msg(0, 1))
+        net.submit(msg(1, 2))
+        assert net.pending_links() == [(0, 1), (1, 2), (2, 0)]
+
+    def test_peek_does_not_remove(self):
+        net = Network(2)
+        net.submit(msg(0, 1, payload="x"))
+        assert net.peek((0, 1)).payload == "x"
+        assert net.pending_count() == 1
+
+    def test_pop_empty_link_raises(self):
+        net = Network(2)
+        with pytest.raises(KeyError):
+            net.pop((0, 1))
+
+    def test_drain_all_empties(self):
+        net = Network(3)
+        for i in range(3):
+            net.submit(msg(i, (i + 1) % 3))
+        drained = list(net.drain_all())
+        assert len(drained) == 3
+        assert net.pending_count() == 0
+
+    def test_stats_counts(self):
+        net = Network(2)
+        net.submit(msg(0, 1, tag="a"))
+        net.submit(msg(0, 1, tag="a"))
+        net.submit(msg(1, 0, tag="b"))
+        list(net.drain_all())
+        assert net.stats.messages_sent == 3
+        assert net.stats.messages_delivered == 3
+        assert net.stats.per_tag == {"a": 2, "b": 1}

@@ -1,0 +1,185 @@
+"""Tests for the synchronous and asynchronous execution engines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.system.adversary import Adversary, SilentStrategy
+from repro.system.process import AsyncProcess, Context, SyncProcess
+from repro.system.scheduler import (
+    AsyncScheduler,
+    DelayPolicy,
+    FifoPolicy,
+    RandomPolicy,
+    SynchronousScheduler,
+)
+
+
+class EchoOnce(SyncProcess):
+    """Round 0: broadcast own pid; round 1: decide the sorted inbox."""
+
+    def on_round(self, ctx, r, inbox):
+        if r == 0:
+            ctx.broadcast("hello", ctx.pid, round=0)
+        elif r == 1:
+            got = sorted(
+                payload for entries in inbox.values() for _, payload in entries
+            )
+            ctx.decide(tuple(got))
+
+
+class Counter(AsyncProcess):
+    """Broadcast a token; decide after receiving n tokens."""
+
+    def on_start(self, ctx):
+        ctx.broadcast("tok", ctx.pid)
+        self.got = set()
+
+    def on_message(self, ctx, src, tag, payload):
+        self.got.add(payload)
+        if len(self.got) >= ctx.n - ctx.f and not ctx.decided:
+            ctx.decide(len(self.got))
+
+
+class TestSynchronousScheduler:
+    def test_lockstep_delivery(self):
+        procs = [EchoOnce() for _ in range(4)]
+        res = SynchronousScheduler(procs, f=0).run()
+        assert res.completed
+        assert all(v == (0, 1, 2, 3) for v in res.decisions.values())
+        assert res.rounds == 2
+
+    def test_silent_fault_excluded(self):
+        procs = [EchoOnce() for _ in range(4)]
+        adv = Adversary(faulty=[3], strategy=SilentStrategy())
+        res = SynchronousScheduler(procs, f=1, adversary=adv).run()
+        assert all(res.decisions[p] == (0, 1, 2) for p in (0, 1, 2))
+
+    def test_correct_decisions_filters_faulty(self):
+        procs = [EchoOnce() for _ in range(4)]
+        adv = Adversary(faulty=[0])
+        res = SynchronousScheduler(procs, f=1, adversary=adv).run()
+        assert 0 not in res.correct_decisions
+        assert set(res.correct_decisions) == {1, 2, 3}
+
+    def test_adversary_exceeding_f_rejected(self):
+        procs = [EchoOnce() for _ in range(4)]
+        with pytest.raises(ValueError):
+            SynchronousScheduler(procs, f=1, adversary=Adversary(faulty=[0, 1]))
+
+    def test_max_rounds_incomplete(self):
+        class Forever(SyncProcess):
+            def on_round(self, ctx, r, inbox):
+                ctx.broadcast("spin", r, round=r)
+
+        res = SynchronousScheduler([Forever() for _ in range(3)], f=0, max_rounds=5).run()
+        assert not res.completed
+        assert res.rounds == 4  # 0..4 executed
+
+    def test_double_decide_raises(self):
+        class Bad(SyncProcess):
+            def on_round(self, ctx, r, inbox):
+                ctx.decide(1)
+                ctx.decide(2)
+
+        with pytest.raises(RuntimeError):
+            SynchronousScheduler([Bad(), Bad()], f=0).run()
+
+    def test_rushing_adversary_sees_correct_messages(self):
+        seen = {}
+
+        class Rusher(SyncProcess):
+            def on_round(self, ctx, r, inbox):
+                ctx.decide(0)
+
+        from repro.system.adversary import ByzantineStrategy
+
+        class Peek(ByzantineStrategy):
+            def transform(self, m, view):
+                seen["correct_msgs"] = len(view.correct_outbox)
+                return [m]
+
+        class Talker(SyncProcess):
+            def on_round(self, ctx, r, inbox):
+                ctx.broadcast("x", 1, round=r)
+                if r == 1:
+                    ctx.decide(0)
+
+        procs = [Talker() for _ in range(3)]
+        adv = Adversary(faulty=[2], strategy=Peek())
+        SynchronousScheduler(procs, f=1, adversary=adv).run()
+        # two correct processes each broadcast to 3 → 6 messages visible
+        assert seen["correct_msgs"] == 6
+
+
+class TestAsyncScheduler:
+    @pytest.mark.parametrize("policy", [RandomPolicy(), FifoPolicy()])
+    def test_all_decide(self, policy):
+        procs = [Counter() for _ in range(4)]
+        res = AsyncScheduler(procs, f=0, policy=policy).run()
+        assert res.completed
+        assert len(res.decisions) >= 4 - 0
+
+    def test_silent_fault_tolerated(self):
+        procs = [Counter() for _ in range(4)]
+        adv = Adversary(faulty=[3], strategy=SilentStrategy())
+        res = AsyncScheduler(procs, f=1, adversary=adv).run()
+        assert res.completed
+        assert set(res.correct_decisions) == {0, 1, 2}
+
+    def test_delay_policy_still_completes(self):
+        procs = [Counter() for _ in range(4)]
+        res = AsyncScheduler(
+            procs, f=1, policy=DelayPolicy(victims=[0]),
+            adversary=Adversary(faulty=[3], strategy=SilentStrategy()),
+        ).run()
+        assert res.completed
+
+    def test_delay_policy_prefers_non_victims(self):
+        from repro.system.network import Network
+        from repro.system.messages import Message
+
+        net = Network(3)
+        net.submit(Message(1, 0, "t", None))
+        net.submit(Message(1, 2, "t", None))
+        pol = DelayPolicy(victims=[0])
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            assert pol.choose(net.pending_links(), net, rng)[1] != 0
+        # when only victim links remain they are chosen
+        net.pop((1, 2))
+        assert pol.choose(net.pending_links(), net, rng) == (1, 0)
+
+    def test_max_steps_cap(self):
+        class Chatter(AsyncProcess):
+            def on_start(self, ctx):
+                ctx.send((ctx.pid + 1) % ctx.n, "ping", 0)
+
+            def on_message(self, ctx, src, tag, payload):
+                ctx.send((ctx.pid + 1) % ctx.n, "ping", payload + 1)
+
+        res = AsyncScheduler([Chatter() for _ in range(3)], f=0, max_steps=50).run()
+        assert not res.completed
+        assert res.rounds == 50
+
+    def test_determinism_same_seed(self):
+        r1 = AsyncScheduler(
+            [Counter() for _ in range(4)], f=0, rng=np.random.default_rng(5)
+        ).run()
+        r2 = AsyncScheduler(
+            [Counter() for _ in range(4)], f=0, rng=np.random.default_rng(5)
+        ).run()
+        assert r1.rounds == r2.rounds
+        assert r1.decisions == r2.decisions
+
+    def test_fifo_policy_oldest_first(self):
+        from repro.system.network import Network
+        from repro.system.messages import Message
+
+        net = Network(3)
+        net.submit(Message(1, 2, "t", "new", seq=7))
+        net.submit(Message(0, 1, "t", "old", seq=1))
+        pol = FifoPolicy()
+        link = pol.choose(net.pending_links(), net, np.random.default_rng(0))
+        assert link == (0, 1)

@@ -1,0 +1,51 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestCLI:
+    def test_demo(self, capsys):
+        assert main(["demo", "--d", "3", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "ALGO: ok=True" in out
+
+    def test_bounds(self, capsys):
+        assert main(["bounds", "--d", "3", "--f", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "n >= 5" in out  # exact BVC at d=3, f=1
+        assert "n >= 6" in out  # approximate
+
+    def test_delta(self, capsys):
+        assert main(["delta", "--n", "4", "--d", "3", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "δ*(S)" in out and "certified gap" in out
+
+    def test_delta_p_inf(self, capsys):
+        assert main(["delta", "--n", "4", "--d", "3", "--p", "inf"]) == 0
+
+    def test_verdicts(self, capsys):
+        assert main(["verdicts", "--d", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Ψ(Y) empty = True" in out
+
+    def test_verdicts_low_d(self, capsys):
+        assert main(["verdicts", "--d", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "need d >= 3" in out
+
+    def test_fuzz_clean_run_exits_zero(self, capsys):
+        assert main(["fuzz", "--algorithm", "k1", "--trials", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "0 invariant violations" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "--algorithm", "bogus"])
