@@ -13,12 +13,33 @@ import numpy as np
 
 from repro.analysis.tables import format_table
 
-__all__ = ["report", "rng_for"]
+__all__ = ["report", "rng_for", "OBS_HEADERS", "obs_columns"]
 
 
 def report(title: str, headers, rows) -> None:
     """Print one experiment table (shown with ``-s`` / captured by tee)."""
     print("\n" + format_table(headers, rows, title=title))
+
+
+#: Column headers matching :func:`obs_columns`.
+OBS_HEADERS = ["msgs", "bytes", "δ*-time(s)"]
+
+
+def obs_columns(outcome_or_result) -> list:
+    """Message/byte/solver-time columns for one run's benchmark row.
+
+    Accepts a :class:`~repro.core.runner.ConsensusOutcome` or a raw
+    :class:`~repro.system.scheduler.RunResult`; reads the run's metrics
+    registry (``RunResult.metrics``).
+    """
+    result = getattr(outcome_or_result, "result", outcome_or_result)
+    m = result.metrics
+    solver = m.histogram("geometry.delta_star.seconds")
+    return [
+        m.counter_value("net.messages_sent"),
+        m.counter_value("net.bytes_estimate"),
+        round(solver.total, 4),
+    ]
 
 
 def rng_for(tag: str, index: int = 0) -> np.random.Generator:

@@ -27,7 +27,7 @@ from repro.system.adversary import (
     SilentStrategy,
 )
 
-from ._util import report, rng_for
+from ._util import OBS_HEADERS, obs_columns, report, rng_for
 
 
 def _adversaries():
@@ -67,13 +67,13 @@ class TestAlgoEndToEnd:
                 )
                 out = run_algo(inputs, f=1, adversary=adv, seed=d)
                 rows.append([d, n, name, out.delta_used,
-                             out.result.stats.messages_sent,
+                             *obs_columns(out),
                              "OK" if out.ok else "FAILED"])
                 assert out.ok, f"d={d}, adversary={name}: {out.report}"
         report(
             "ALGO end-to-end (f=1, n=d+1 < (d+1)f+1): agreement + "
             "(delta*,2)-validity under adversaries",
-            ["d", "n", "adversary", "delta*", "messages", "verdict"],
+            ["d", "n", "adversary", "delta*", *OBS_HEADERS, "verdict"],
             rows,
         )
         rng = rng_for("algo-kernel")

@@ -23,7 +23,7 @@ from repro.core.averaging import rounds_for_epsilon
 from repro.system.adversary import Adversary, MutateStrategy, SilentStrategy
 from repro.system.scheduler import DelayPolicy
 
-from ._util import report, rng_for
+from ._util import OBS_HEADERS, obs_columns, report, rng_for
 
 
 class TestRVA:
@@ -41,12 +41,14 @@ class TestRVA:
                 rows.append([d, n, name, out.delta_used,
                              out.report.agreement_diameter,
                              out.result.rounds,
+                             *obs_columns(out),
                              "OK" if out.ok else "FAILED"])
                 assert out.ok, f"d={d}, {name}: {out.report}"
         report(
             "RVA end-to-end (f=1, n=d+1 < (d+2)f+1): eps-agreement + "
             "(delta,2)-validity",
-            ["d", "n", "adversary", "delta", "agreement diam", "steps", "verdict"],
+            ["d", "n", "adversary", "delta", "agreement diam", "steps",
+             *OBS_HEADERS, "verdict"],
             rows,
         )
         rng = rng_for("rva-kernel")

@@ -7,6 +7,10 @@ Commands
 ``delta``     compute δ*(S) for random or provided inputs
 ``verdicts``  execute the impossibility constructions for a given d
 ``fuzz``      randomised adversary soak test of one algorithm
+``trace``     run any other command under the tracer, dump JSONL + summary
+
+Every command accepts ``--quiet`` / ``--verbose``, wired to the tracer's
+log level (``--verbose`` echoes debug events to stderr as they happen).
 
 Examples::
 
@@ -15,6 +19,7 @@ Examples::
     python -m repro delta --n 5 --d 4 --f 1 --seed 0
     python -m repro verdicts --d 3
     python -m repro fuzz --algorithm algo --trials 100
+    python -m repro trace --out run.jsonl demo --d 3
 """
 
 from __future__ import annotations
@@ -25,26 +30,52 @@ import sys
 import numpy as np
 
 
+def _fail(message: str) -> int:
+    """Clean CLI error: one line on stderr, exit code 2, no traceback."""
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from .core import run_algo, run_exact_bvc
     from .core.bounds import exact_bvc_min_n, theorem9_bound
+    from .obs import trace_event
     from .system import Adversary
 
-    d, f = args.d, 1
-    n = d + 1
+    d, f = args.d, args.f
+    n = args.n if args.n is not None else d + 1
+    if d < 1:
+        return _fail(f"--d must be >= 1, got {d}")
+    if f < 1:
+        return _fail(f"--f must be >= 1, got {f}")
+    if n < 3 * f + 1:
+        return _fail(
+            f"inconsistent system size: ALGO requires n >= 3f+1 "
+            f"(got --n {n}, --f {f}; try --n {3 * f + 1} or larger)"
+        )
     rng = np.random.default_rng(args.seed)
     inputs = rng.normal(size=(n, d))
     inputs[-1] = 25.0  # adversarially chosen faulty input
-    print(f"n={n}, d={d}, f={f}; exact BVC needs n >= {exact_bvc_min_n(d, f)}")
+    if not args.quiet:
+        print(f"n={n}, d={d}, f={f}; exact BVC needs n >= {exact_bvc_min_n(d, f)}")
+    trace_event("demo.start", n=n, d=d, f=f, seed=args.seed)
     try:
         run_exact_bvc(inputs, f=f, adversary=Adversary(faulty=[n - 1]))
-        print("exact BVC: succeeded (Γ nonempty for this instance)")
+        if not args.quiet:
+            print("exact BVC: succeeded (Γ nonempty for this instance)")
     except ValueError as exc:
-        print(f"exact BVC: {exc}")
+        if not args.quiet:
+            print(f"exact BVC: {exc}")
     out = run_algo(inputs, f=f, adversary=Adversary(faulty=[n - 1]))
+    trace_event("demo.done", ok=out.ok, delta=out.delta_used)
     print(f"ALGO: ok={out.ok}  δ*={out.delta_used:.6f}  "
           f"(Theorem 9 bound {theorem9_bound(out.honest_inputs, n):.6f})")
-    print(f"decision: {np.round(next(iter(out.decisions.values())), 4)}")
+    if not args.quiet:
+        print(f"decision: {np.round(next(iter(out.decisions.values())), 4)}")
+        m = out.metrics
+        print(f"traffic: {m.counter_value('net.messages_sent')} messages, "
+              f"~{m.counter_value('net.bytes_estimate')} bytes, "
+              f"{m.counter_value('geometry.delta_star.calls')} δ* solves")
     return 0
 
 
@@ -76,6 +107,12 @@ def _cmd_delta(args: argparse.Namespace) -> int:
     from .geometry import delta_star
     from .geometry.norms import max_edge_length, min_edge_length
 
+    if args.n < 2:
+        return _fail(f"--n must be >= 2, got {args.n}")
+    if not 0 <= args.f < args.n:
+        return _fail(
+            f"inconsistent --n/--f: need 0 <= f < n, got n={args.n}, f={args.f}"
+        )
     rng = np.random.default_rng(args.seed)
     S = rng.normal(size=(args.n, args.d))
     res = delta_star(S, args.f, p=args.p)
@@ -113,9 +150,15 @@ def _cmd_verdicts(args: argparse.Namespace) -> int:
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
-    from .analysis.fuzz import fuzz_consensus
+    from .analysis.fuzz import ALGORITHMS, fuzz_consensus
 
-    failures = fuzz_consensus(args.algorithm, trials=args.trials, seed=args.seed)
+    if args.trials < 1:
+        return _fail(f"--trials must be >= 1, got {args.trials}")
+    try:
+        failures = fuzz_consensus(args.algorithm, trials=args.trials,
+                                  seed=args.seed)
+    except ValueError as exc:
+        return _fail(str(exc))
     print(f"{args.trials} randomised runs of {args.algorithm!r}: "
           f"{len(failures)} invariant violations")
     for fail in failures:
@@ -123,24 +166,75 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .analysis.profiling import render_flame, render_summary
+    from .obs import (
+        MetricsRegistry,
+        Tracer,
+        trace_to_records,
+        use_registry,
+        use_tracer,
+        write_jsonl,
+    )
+
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest:
+        return _fail("trace requires a command to run, "
+                     "e.g. 'trace --out run.jsonl demo --d 3'")
+    if rest[0] == "trace":
+        return _fail("trace cannot wrap itself")
+
+    level = "warning" if args.quiet else ("debug" if args.verbose else "info")
+    tracer = Tracer(level=level, echo=args.verbose)
+    registry = MetricsRegistry()
+    with use_tracer(tracer), use_registry(registry):
+        inner_code = main(rest)
+    try:
+        lines = write_jsonl(args.out, tracer, registry)
+    except OSError as exc:
+        return _fail(f"cannot write trace to {args.out!r}: {exc}")
+    records = trace_to_records(tracer, registry)
+    if not args.quiet:
+        print(f"\n--- trace: {len(tracer.spans)} spans, "
+              f"{len(tracer.events)} events -> {args.out} ({lines} lines)")
+        print(render_summary(records))
+        if args.flame:
+            print("\n" + render_flame(records))
+    return inner_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Relaxed Byzantine Vector Consensus — reproduction toolkit",
     )
+    common = argparse.ArgumentParser(add_help=False)
+    verbosity = common.add_mutually_exclusive_group()
+    verbosity.add_argument("--quiet", action="store_true",
+                           help="warnings only (tracer level 'warning')")
+    verbosity.add_argument("--verbose", action="store_true",
+                           help="echo debug events (tracer level 'debug')")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("demo", help="quick end-to-end ALGO demonstration")
+    p = sub.add_parser("demo", parents=[common],
+                       help="quick end-to-end ALGO demonstration")
     p.add_argument("--d", type=int, default=3)
+    p.add_argument("--n", type=int, default=None,
+                   help="processes (default d+1; must satisfy n >= 3f+1)")
+    p.add_argument("--f", type=int, default=1)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_demo)
 
-    p = sub.add_parser("bounds", help="print the paper's n-bounds")
+    p = sub.add_parser("bounds", parents=[common],
+                       help="print the paper's n-bounds")
     p.add_argument("--d", type=int, required=True)
     p.add_argument("--f", type=int, required=True)
     p.set_defaults(func=_cmd_bounds)
 
-    p = sub.add_parser("delta", help="compute δ*(S) on random inputs")
+    p = sub.add_parser("delta", parents=[common],
+                       help="compute δ*(S) on random inputs")
     p.add_argument("--n", type=int, required=True)
     p.add_argument("--d", type=int, required=True)
     p.add_argument("--f", type=int, default=1)
@@ -148,23 +242,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_delta)
 
-    p = sub.add_parser("verdicts", help="run the impossibility constructions")
+    p = sub.add_parser("verdicts", parents=[common],
+                       help="run the impossibility constructions")
     p.add_argument("--d", type=int, default=3)
     p.set_defaults(func=_cmd_verdicts)
 
-    p = sub.add_parser("fuzz", help="randomised adversary soak test")
+    p = sub.add_parser("fuzz", parents=[common],
+                       help="randomised adversary soak test")
     p.add_argument("--algorithm", default="algo",
                    choices=["exact", "algo", "k1", "averaging"])
     p.add_argument("--trials", type=int, default=50)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_fuzz)
+
+    p = sub.add_parser(
+        "trace", parents=[common],
+        help="run another command under the tracer; dump JSONL + summary",
+    )
+    p.add_argument("--out", default="repro_trace.jsonl",
+                   help="JSONL output path (default repro_trace.jsonl)")
+    p.add_argument("--flame", action="store_true",
+                   help="also print the span tree (text flame graph)")
+    p.add_argument("rest", nargs=argparse.REMAINDER,
+                   help="the command to run, with its own flags")
+    p.set_defaults(func=_cmd_trace)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point (returns the process exit code)."""
+    from .obs import Tracer, get_tracer, set_tracer
+
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    installed = None
+    tracer = get_tracer()
+    if getattr(args, "verbose", False) and not tracer.enabled:
+        # --verbose outside `trace`: echo debug events without collecting
+        # a span dump.
+        installed = set_tracer(Tracer(level="debug", echo=True))
+    elif getattr(args, "quiet", False) and tracer.enabled:
+        tracer.level = "warning"
+    try:
+        return args.func(args)
+    finally:
+        if installed is not None:
+            set_tracer(installed)
 
 
 if __name__ == "__main__":

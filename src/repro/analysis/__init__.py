@@ -2,6 +2,13 @@
 
 from .fuzz import ALGORITHMS, FuzzFailure, fuzz_consensus, random_adversary
 from .metrics import DeltaTrial, TrialSummary, measure_delta_star, summarize_trials
+from .profiling import (
+    SpanStats,
+    metrics_record,
+    render_flame,
+    render_summary,
+    summarize_spans,
+)
 from .tables import format_table, print_table
 from .transcripts import TranscriptSummary, render_transcript, summarize_transcript
 from .workloads import (
@@ -25,7 +32,12 @@ __all__ = [
     "TranscriptSummary",
     "TrialSummary",
     "WORKLOADS",
+    "SpanStats",
+    "metrics_record",
+    "render_flame",
+    "render_summary",
     "render_transcript",
+    "summarize_spans",
     "summarize_transcript",
     "clustered_inputs",
     "collinear_inputs",

@@ -62,6 +62,12 @@ class ConsensusOutcome:
         """Agreement + validity + termination all hold."""
         return self.report.ok
 
+    @property
+    def metrics(self):
+        """The run's :class:`~repro.obs.metrics.MetricsRegistry`
+        (shortcut for ``result.metrics``)."""
+        return self.result.metrics
+
 
 def _prep(inputs: np.ndarray, adversary: Optional[Adversary]):
     inputs = np.atleast_2d(np.asarray(inputs, dtype=float))

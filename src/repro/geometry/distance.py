@@ -30,6 +30,7 @@ from typing import Union
 import numpy as np
 from scipy.optimize import linprog, minimize
 
+from ..obs import metrics as _obs
 from .norms import lp_norm, validate_p
 from .simplex_proj import project_to_simplex
 
@@ -392,6 +393,7 @@ def distance_to_hull(
     Dispatches on ``p``: exact LP for 1 and inf, FISTA+polish for 2, SLSQP
     for other finite ``p``.
     """
+    _obs.inc("geometry.distance_to_hull.calls")
     p = validate_p(p)
     pts = _as_points(points)
     xv = np.asarray(x, dtype=float).ravel()

@@ -22,6 +22,7 @@ import numpy as np
 from scipy.spatial import ConvexHull as _QhullConvexHull
 from scipy.spatial import QhullError
 
+from ..obs import metrics as _obs
 from .distance import HullProjection, distance_linf, distance_to_hull, in_hull
 from .norms import max_edge_length, min_edge_length
 
@@ -87,6 +88,7 @@ class Hull:
             raise ValueError("Hull points must be finite")
         self._points = pts.copy()
         self._points.setflags(write=False)
+        _obs.inc("geometry.hull.constructions")
 
     # ------------------------------------------------------------------ basic
     @property

@@ -39,12 +39,15 @@ iteration.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
 import numpy as np
 from scipy.optimize import linprog
 
+from ..obs import metrics as _obs
+from ..obs.tracer import trace_span
 from .distance import distance_to_hull
 from .intersections import f_subsets, gamma_point
 from .norms import lp_norm, validate_p
@@ -369,6 +372,27 @@ def delta_star(
     p = validate_p(p)
     subsets = tuple(f_subsets(n, f))
 
+    t0 = time.perf_counter()
+    with trace_span("geometry.delta_star", n=n, d=d, f=f, p=float(p)) as span:
+        result = _delta_star_solve(S, n, f, p, subsets, tol, max_iter)
+        span.tag(value=result.value, gap=result.gap,
+                 iterations=result.iterations)
+    reg = _obs.current_registry()
+    reg.inc("geometry.delta_star.calls")
+    reg.inc("geometry.delta_star.iterations", result.iterations)
+    reg.observe("geometry.delta_star.seconds", time.perf_counter() - t0)
+    return result
+
+
+def _delta_star_solve(
+    S: np.ndarray,
+    n: int,
+    f: int,
+    p: float,
+    subsets: tuple[tuple[int, ...], ...],
+    tol: float,
+    max_iter: int,
+) -> DeltaStarResult:
     # δ = 0 fast path: Γ(S) nonempty means no relaxation is needed at all
     # (e.g. Theorem 8's affinely-dependent inputs, or n >= (d+1)f + 1).
     g0 = gamma_point(S, f)

@@ -26,11 +26,13 @@ Implementation notes
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional, Sequence, Union
 
 import numpy as np
 
+from ..obs import metrics as _obs
 from .intersections import intersection_point
 from .relaxed import DeltaPHull, KRelaxedHull
 
@@ -69,6 +71,7 @@ def radon_partition(points: np.ndarray, tol: float = 1e-12) -> RadonPartition:
     m, d = pts.shape
     if m < d + 2:
         raise ValueError(f"Radon partition needs at least d+2={d + 2} points, got {m}")
+    _obs.inc("geometry.radon.calls")
     M = np.vstack([pts.T, np.ones(m)])  # (d+1, m)
     _, s, vt = np.linalg.svd(M)
     alpha = vt[-1]
@@ -195,11 +198,18 @@ def tverberg_partition(
     """
     pts = np.atleast_2d(np.asarray(points, dtype=float))
     n = pts.shape[0]
-    for parts in iter_set_partitions(n, r):
-        point = partition_intersection_nonempty(pts, parts, hull_kind, **kwargs)
-        if point is not None:
-            return TverbergPartition(parts, point)
-    return None
+    reg = _obs.current_registry()
+    reg.inc("geometry.tverberg.calls")
+    t0 = time.perf_counter()
+    try:
+        for parts in iter_set_partitions(n, r):
+            reg.inc("geometry.tverberg.partitions_checked")
+            point = partition_intersection_nonempty(pts, parts, hull_kind, **kwargs)
+            if point is not None:
+                return TverbergPartition(parts, point)
+        return None
+    finally:
+        reg.observe("geometry.tverberg.seconds", time.perf_counter() - t0)
 
 
 def has_tverberg_partition(points: np.ndarray, r: int) -> bool:

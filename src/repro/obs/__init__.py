@@ -1,0 +1,101 @@
+"""Observability substrate: structured tracing, metrics, run profiling.
+
+Three pieces (see ``docs/observability.md`` for the guide):
+
+* :mod:`repro.obs.tracer` — span/event records with a no-op default, so
+  instrumented hot paths cost nothing until a :class:`Tracer` is
+  installed (``use_tracer``/``set_tracer``).
+* :mod:`repro.obs.metrics` — counters, gauges, and exact histograms in a
+  :class:`MetricsRegistry`; every scheduler run owns one and surfaces it
+  as ``RunResult.metrics``.
+* :mod:`repro.obs.export` — JSONL serialisation and a validating reader
+  (the human-readable renderers live in :mod:`repro.analysis.profiling`).
+
+``@timed`` is the one-liner instrumentation: it records a wall-time
+histogram sample on the ambient registry (and a span when tracing is on)
+for every call of the decorated function.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Any, Callable, TypeVar
+
+from .export import (
+    dump_jsonl,
+    read_jsonl,
+    trace_to_records,
+    validate_records,
+    write_jsonl,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    current_registry,
+    global_registry,
+    use_registry,
+)
+from .tracer import (
+    EventRecord,
+    NULL_TRACER,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    trace_event,
+    trace_span,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "EventRecord",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "SpanRecord",
+    "Tracer",
+    "current_registry",
+    "dump_jsonl",
+    "get_tracer",
+    "global_registry",
+    "read_jsonl",
+    "set_tracer",
+    "timed",
+    "trace_event",
+    "trace_span",
+    "trace_to_records",
+    "use_registry",
+    "use_tracer",
+    "validate_records",
+    "write_jsonl",
+]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+def timed(name: str) -> Callable[[F], F]:
+    """Decorator: time every call into ``<name>.seconds`` on the ambient
+    registry, and open a ``<name>`` span when tracing is enabled."""
+
+    def deco(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            with trace_span(name):
+                t0 = time.perf_counter()
+                try:
+                    return fn(*args, **kwargs)
+                finally:
+                    current_registry().observe(
+                        f"{name}.seconds", time.perf_counter() - t0
+                    )
+
+        return wrapper  # type: ignore[return-value]
+
+    return deco

@@ -26,6 +26,7 @@ from __future__ import annotations
 import math
 from typing import Any, Optional
 
+from ...obs import metrics as _obs
 from ..messages import canonical_bytes
 
 __all__ = ["BrachaState", "INIT", "ECHO", "READY"]
@@ -67,9 +68,12 @@ class BrachaState:
         try:
             phase, value = payload
         except (TypeError, ValueError):
+            _obs.inc("bcast.bracha.malformed")
             return []
         out: list[tuple[int, tuple[str, Any]]] = []
         key = canonical_bytes(value)
+        if phase in (INIT, ECHO, READY):
+            _obs.inc(f"bcast.bracha.{phase}")
 
         if phase == INIT:
             if src == self.sender and not self._echoed:
@@ -92,4 +96,5 @@ class BrachaState:
             if len(voters) >= self.ready_threshold and not self.delivered:
                 self.delivered = True
                 self.delivered_value = self._values[key]
+                _obs.inc("bcast.bracha.delivered")
         return out

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
+from ...obs import metrics as _obs
 from ..crypto import Signature, SignatureScheme
 from ..messages import canonical_bytes
 from .interface import BroadcastDefault
@@ -113,6 +114,8 @@ class DolevStrongState:
             for dst in range(self.n):
                 out.append((dst, (value, new_chain)))
         self._newly_accepted = []
+        if out:
+            _obs.inc("bcast.ds.relays_sent", len(out))
         return out
 
     # ----------------------------------------------------------- receiving
@@ -122,10 +125,13 @@ class DolevStrongState:
             value, chain = payload
             chain = tuple(chain)
         except (TypeError, ValueError):
+            _obs.inc("bcast.ds.rejected")
             return
         if not all(isinstance(s, Signature) for s in chain):
+            _obs.inc("bcast.ds.rejected")
             return
         if not self._valid_chain(value, chain, min_len=r):
+            _obs.inc("bcast.ds.rejected")
             return
         key = canonical_bytes(value)
         if key in self.accepted:
@@ -133,6 +139,7 @@ class DolevStrongState:
         self.accepted[key] = value
         self._chains[key] = chain
         self._newly_accepted.append(key)
+        _obs.inc("bcast.ds.accepted")
 
     # ------------------------------------------------------------ deciding
     def decide(self) -> Any:

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Optional
 
+from ...obs import metrics as _obs
 from .interface import BroadcastDefault, majority
 
 __all__ = ["EIGState", "eig_total_rounds"]
@@ -100,6 +101,8 @@ class EIGState:
             new_path = path + (self.pid,)
             for dst in range(self.n):
                 out.append((dst, (new_path, value)))
+        if out:
+            _obs.inc("bcast.om.relays_sent", len(out))
         return out
 
     # ----------------------------------------------------------- receiving
@@ -115,17 +118,21 @@ class EIGState:
             path, value = payload
             path = tuple(int(x) for x in path)
         except (TypeError, ValueError):
+            _obs.inc("bcast.om.relays_rejected")
             return
-        if len(path) != r:
-            return
-        if not path or path[0] != self.commander or path[-1] != src:
-            return
-        if len(set(path)) != len(path):
-            return
-        if any(not 0 <= x < self.n for x in path):
+        if (
+            len(path) != r
+            or not path
+            or path[0] != self.commander
+            or path[-1] != src
+            or len(set(path)) != len(path)
+            or any(not 0 <= x < self.n for x in path)
+        ):
+            _obs.inc("bcast.om.relays_rejected")
             return
         if path not in self.tree:
             self.tree[path] = value
+            _obs.inc("bcast.om.relays_stored")
 
     # ------------------------------------------------------------ deciding
     def decide(self) -> Any:
@@ -134,6 +141,7 @@ class EIGState:
         if not self._decided:
             self._decision = self._resolve((self.commander,))
             self._decided = True
+            _obs.inc("bcast.om.decisions")
         return self._decision
 
     def _resolve(self, path: Path) -> Any:

@@ -18,7 +18,40 @@ from typing import Any, Optional
 
 import numpy as np
 
-__all__ = ["ALL", "Message", "canonical_bytes"]
+__all__ = ["ALL", "Message", "canonical_bytes", "estimate_bytes"]
+
+
+#: Assumed wire cost of fixed-width fields (ids, seq, round, framing).
+_ENVELOPE_BYTES = 24
+_SCALAR_BYTES = 8
+
+
+def estimate_bytes(obj: Any) -> int:
+    """Cheap wire-size estimate of a payload object, in bytes.
+
+    Deliberately *not* ``len(pickle.dumps(...))`` — this runs on every
+    ``Network.submit`` so it must stay allocation-light.  Scalars count 8
+    bytes, strings/bytes their length, NumPy arrays their buffer size,
+    containers the sum of their items plus a small per-item overhead.
+    """
+    if obj is None or isinstance(obj, (int, float, bool, np.generic)):
+        return _SCALAR_BYTES
+    if isinstance(obj, (str, bytes)):
+        return len(obj)
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (tuple, list, set, frozenset)):
+        return 2 + sum(estimate_bytes(v) for v in obj)
+    if isinstance(obj, dict):
+        return 2 + sum(
+            estimate_bytes(k) + estimate_bytes(v) for k, v in obj.items()
+        )
+    # Unknown protocol object (e.g. a Signature dataclass): fall back to
+    # its instance dict when present, else one scalar slot.
+    d = getattr(obj, "__dict__", None)
+    if d:
+        return estimate_bytes(d)
+    return _SCALAR_BYTES
 
 
 def canonical_bytes(obj: Any) -> bytes:
@@ -81,6 +114,10 @@ class Message:
     def is_atomic_broadcast(self) -> bool:
         """True when this envelope is a channel-level broadcast."""
         return self.dst == ALL
+
+    def estimated_size(self) -> int:
+        """Wire-size estimate: envelope + tag + payload (bytes)."""
+        return _ENVELOPE_BYTES + len(self.tag) + estimate_bytes(self.payload)
 
     def __repr__(self) -> str:  # compact transcript-friendly form
         r = f", r={self.round}" if self.round is not None else ""

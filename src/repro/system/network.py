@@ -22,19 +22,40 @@ __all__ = ["Network", "NetworkStats"]
 
 @dataclass
 class NetworkStats:
-    """Aggregate transcript statistics for one execution."""
+    """Aggregate transcript statistics for one execution.
+
+    ``per_tag`` counts *sends* and ``per_tag_delivered`` counts
+    *deliveries*; they differ when the run ends with messages still
+    buffered (async runs stopped at decision) or when the scheduler drops
+    traffic at submission (missing topology edges).
+    """
 
     messages_sent: int = 0
     messages_delivered: int = 0
     bytes_estimate: int = 0
     per_tag: dict[str, int] = field(default_factory=dict)
+    per_tag_delivered: dict[str, int] = field(default_factory=dict)
 
     def record_send(self, msg: Message) -> None:
         self.messages_sent += 1
+        self.bytes_estimate += msg.estimated_size()
         self.per_tag[msg.tag] = self.per_tag.get(msg.tag, 0) + 1
 
-    def record_delivery(self, _msg: Message) -> None:
+    def record_delivery(self, msg: Message) -> None:
         self.messages_delivered += 1
+        self.per_tag_delivered[msg.tag] = (
+            self.per_tag_delivered.get(msg.tag, 0) + 1
+        )
+
+    def as_dict(self) -> dict:
+        """Plain-data view (merged into ``RunResult.metrics``)."""
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "bytes_estimate": self.bytes_estimate,
+            "per_tag": dict(self.per_tag),
+            "per_tag_delivered": dict(self.per_tag_delivered),
+        }
 
 
 class Network:

@@ -26,6 +26,9 @@ from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
+from ..obs import metrics as _obs
+from ..obs.metrics import MetricsRegistry, active_registry, use_registry
+from ..obs.tracer import NULL_SPAN, get_tracer, trace_span
 from .adversary import Adversary, AdversaryView
 from .ids import validate_system_size
 from .messages import Message
@@ -69,6 +72,13 @@ class RunResult:
     completed:
         False when the run hit its round/step cap before all correct
         processes decided.
+    metrics:
+        The run's :class:`~repro.obs.metrics.MetricsRegistry` — network
+        counters (``net.messages_sent``, ``net.bytes_estimate``, per-tag
+        send/delivery counts), scheduler counters, and whatever the
+        protocol/geometry layers recorded during the run (e.g.
+        ``geometry.delta_star.seconds``).  Use ``metrics.snapshot()`` for
+        a plain-data view.
     """
 
     decisions: dict[int, Any]
@@ -79,11 +89,23 @@ class RunResult:
     completed: bool
     #: (round-or-step, message) pairs when recording was requested.
     transcript: Optional[list[tuple[int, Message]]] = None
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     @property
     def correct_decisions(self) -> dict[int, Any]:
         """Decisions of the non-faulty processes only."""
         return {pid: v for pid, v in self.decisions.items() if pid not in self.faulty}
+
+
+def _fold_network_stats(registry: MetricsRegistry, stats: NetworkStats) -> None:
+    """Mirror the transcript statistics into the run's metric namespace."""
+    registry.counter("net.messages_sent").value = stats.messages_sent
+    registry.counter("net.messages_delivered").value = stats.messages_delivered
+    registry.counter("net.bytes_estimate").value = stats.bytes_estimate
+    for tag, count in stats.per_tag.items():
+        registry.counter(f"net.sent.{tag}").value = count
+    for tag, count in stats.per_tag_delivered.items():
+        registry.counter(f"net.delivered.{tag}").value = count
 
 
 def _make_contexts(
@@ -110,6 +132,7 @@ class SynchronousScheduler:
         sign: Optional[Callable[[int, Any], Any]] = None,
         topology: Optional["Topology"] = None,
         record_transcript: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         n = len(processes)
         validate_system_size(n, f)
@@ -133,12 +156,23 @@ class SynchronousScheduler:
         self.sign = sign
         self.topology = topology
         self.record_transcript = bool(record_transcript)
+        self.metrics = (
+            metrics
+            if metrics is not None
+            else (active_registry() or MetricsRegistry())
+        )
         self.network = Network(n)
         self.contexts = _make_contexts(n, f, self.rng)
         self._adv_rng = np.random.default_rng(int(self.rng.integers(0, 2**63 - 1)))
 
     def run(self) -> RunResult:
         """Execute rounds until every correct process has decided (or cap)."""
+        with use_registry(self.metrics) as reg, trace_span(
+            "sched.sync.run", n=self.n, f=self.f
+        ):
+            return self._run(reg)
+
+    def _run(self, reg: MetricsRegistry) -> RunResult:
         transcript: Optional[list[tuple[int, Message]]] = (
             [] if self.record_transcript else None
         )
@@ -149,83 +183,100 @@ class SynchronousScheduler:
         rounds_done = 0
         for r in range(self.max_rounds):
             rounds_done = r
-            correct_ids = [p for p in range(self.n) if not self.adversary.is_faulty(p)]
-            faulty_ids = [p for p in range(self.n) if self.adversary.is_faulty(p)]
+            round_span = trace_span("sched.sync.round", round=r)
+            with round_span:
+                correct_ids = [
+                    p for p in range(self.n) if not self.adversary.is_faulty(p)
+                ]
+                faulty_ids = [
+                    p for p in range(self.n) if self.adversary.is_faulty(p)
+                ]
 
-            # 1. Correct processes act on this round's inbox.
-            for pid in correct_ids:
-                ctx = self.contexts[pid]
-                if ctx.halted:
-                    continue
-                ctx.outbox = []
-                self.processes[pid].on_round(ctx, r, inboxes[pid])
-            correct_msgs: list[Message] = []
-            for pid in correct_ids:
-                correct_msgs.extend(self.contexts[pid].outbox)
+                # 1. Correct processes act on this round's inbox.
+                for pid in correct_ids:
+                    ctx = self.contexts[pid]
+                    if ctx.halted:
+                        continue
+                    ctx.outbox = []
+                    self.processes[pid].on_round(ctx, r, inboxes[pid])
+                correct_msgs: list[Message] = []
+                for pid in correct_ids:
+                    correct_msgs.extend(self.contexts[pid].outbox)
 
-            # 2. Faulty processes act; the rushing adversary transforms
-            #    their traffic with the correct messages in view.
-            view = AdversaryView(
-                round=r,
-                n=self.n,
-                f=self.f,
-                rng=self._adv_rng,
-                correct_outbox=tuple(correct_msgs),
-                sign=self.sign,
-            )
-            faulty_msgs: list[Message] = []
-            for pid in faulty_ids:
-                ctx = self.contexts[pid]
-                if ctx.halted:
-                    continue
-                ctx.outbox = []
-                self.processes[pid].on_round(ctx, r, inboxes[pid])
-                faulty_msgs.extend(
-                    self.adversary.transform_outbox(pid, ctx.outbox, view)
+                # 2. Faulty processes act; the rushing adversary transforms
+                #    their traffic with the correct messages in view.
+                view = AdversaryView(
+                    round=r,
+                    n=self.n,
+                    f=self.f,
+                    rng=self._adv_rng,
+                    correct_outbox=tuple(correct_msgs),
+                    sign=self.sign,
                 )
+                faulty_msgs: list[Message] = []
+                for pid in faulty_ids:
+                    ctx = self.contexts[pid]
+                    if ctx.halted:
+                        continue
+                    ctx.outbox = []
+                    self.processes[pid].on_round(ctx, r, inboxes[pid])
+                    honest_count = len(ctx.outbox)
+                    transformed = self.adversary.transform_outbox(
+                        pid, ctx.outbox, view
+                    )
+                    faulty_msgs.extend(transformed)
+                    reg.inc("sched.adversary.messages_in", honest_count)
+                    reg.inc("sched.adversary.messages_out", len(transformed))
 
-            # 3. Deliver everything for the next round (per-link FIFO).
-            #    In incomplete graphs there is no channel across missing
-            #    edges: those messages are dropped at submission — for
-            #    Byzantine senders too (they cannot conjure wires).
-            for msg in correct_msgs + faulty_msgs:
-                if (
-                    self.topology is not None
-                    and not msg.is_atomic_broadcast
-                    and not self.topology.allows(msg.src, msg.dst)
+                # 3. Deliver everything for the next round (per-link FIFO).
+                #    In incomplete graphs there is no channel across missing
+                #    edges: those messages are dropped at submission — for
+                #    Byzantine senders too (they cannot conjure wires).
+                for msg in correct_msgs + faulty_msgs:
+                    if (
+                        self.topology is not None
+                        and not msg.is_atomic_broadcast
+                        and not self.topology.allows(msg.src, msg.dst)
+                    ):
+                        reg.inc("sched.sync.topology_drops")
+                        continue
+                    if transcript is not None:
+                        transcript.append((r, msg))
+                    self.network.submit(msg)
+                reg.inc("sched.sync.rounds")
+                round_span.tag(
+                    sends=len(correct_msgs) + len(faulty_msgs),
+                    adversary_sends=len(faulty_msgs),
+                )
+                inboxes = {pid: {} for pid in range(self.n)}
+                for msg in self.network.drain_all():
+                    if msg.is_atomic_broadcast:
+                        targets: Sequence[int] = (
+                            range(self.n)
+                            if self.topology is None
+                            else (*self.topology.neighbors(msg.src), msg.src)
+                        )
+                    else:
+                        targets = (msg.dst,)
+                    for dst in targets:
+                        inboxes[dst].setdefault(msg.src, []).append(
+                            (msg.tag, msg.payload)
+                        )
+
+                if all(
+                    self.contexts[pid].decided or self.contexts[pid].halted
+                    for pid in correct_ids
                 ):
-                    continue
-                if transcript is not None:
-                    transcript.append((r, msg))
-                self.network.submit(msg)
-            inboxes = {pid: {} for pid in range(self.n)}
-            for msg in self.network.drain_all():
-                if msg.is_atomic_broadcast:
-                    targets: Sequence[int] = (
-                        range(self.n)
-                        if self.topology is None
-                        else (*self.topology.neighbors(msg.src), msg.src)
-                    )
-                else:
-                    targets = (msg.dst,)
-                for dst in targets:
-                    inboxes[dst].setdefault(msg.src, []).append(
-                        (msg.tag, msg.payload)
-                    )
-
-            if all(
-                self.contexts[pid].decided or self.contexts[pid].halted
-                for pid in correct_ids
-            ):
-                completed = True
-                rounds_done = r + 1
-                break
+                    completed = True
+                    rounds_done = r + 1
+                    break
 
         for pid, proc in self.processes.items():
             proc.on_stop(self.contexts[pid])
         decisions = {
             pid: ctx.decision for pid, ctx in self.contexts.items() if ctx.decided
         }
+        _fold_network_stats(reg, self.network.stats)
         return RunResult(
             decisions=decisions,
             rounds=rounds_done,
@@ -234,6 +285,7 @@ class SynchronousScheduler:
             faulty=self.adversary.faulty,
             completed=completed,
             transcript=transcript,
+            metrics=reg,
         )
 
 
@@ -280,9 +332,16 @@ class DelayPolicy(DeliveryPolicy):
     def __init__(self, victims: Sequence[int], fallback: Optional[DeliveryPolicy] = None):
         self.victims = frozenset(int(v) for v in victims)
         self.fallback = fallback or RandomPolicy()
+        #: Victim links skipped over the policy's lifetime (also mirrored
+        #: to the ambient metrics registry as ``sched.policy.starved_links``).
+        self.starved_links = 0
 
     def choose(self, links, network, rng):
         preferred = [lk for lk in links if lk[1] not in self.victims]
+        if preferred and len(preferred) < len(links):
+            starved = len(links) - len(preferred)
+            self.starved_links += starved
+            _obs.inc("sched.policy.starved_links", starved)
         pool = preferred if preferred else list(links)
         return self.fallback.choose(pool, network, rng)
 
@@ -302,6 +361,7 @@ class AsyncScheduler:
         sign: Optional[Callable[[int, Any], Any]] = None,
         stop_when_correct_decided: bool = True,
         record_transcript: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         n = len(processes)
         validate_system_size(n, f)
@@ -322,6 +382,11 @@ class AsyncScheduler:
         self.sign = sign
         self.stop_when_correct_decided = stop_when_correct_decided
         self.record_transcript = bool(record_transcript)
+        self.metrics = (
+            metrics
+            if metrics is not None
+            else (active_registry() or MetricsRegistry())
+        )
         self.network = Network(n)
         self.contexts = _make_contexts(n, f, self.rng)
         self._adv_rng = np.random.default_rng(int(self.rng.integers(0, 2**63 - 1)))
@@ -338,14 +403,29 @@ class AsyncScheduler:
                 rng=self._adv_rng,
                 sign=self.sign,
             )
+            honest_count = len(msgs)
             msgs = self.adversary.transform_outbox(pid, msgs, view)
+            self.metrics.inc("sched.adversary.messages_in", honest_count)
+            self.metrics.inc("sched.adversary.messages_out", len(msgs))
         for msg in msgs:
             self.network.submit(msg)
 
     def run(self) -> RunResult:
         """Deliver messages until all correct processes decide (or cap)."""
+        with use_registry(self.metrics) as reg, trace_span(
+            "sched.async.run",
+            n=self.n,
+            f=self.f,
+            policy=type(self.policy).__name__,
+        ):
+            return self._run(reg)
+
+    def _run(self, reg: MetricsRegistry) -> RunResult:
         transcript: Optional[list[tuple[int, Message]]] = (
             [] if self.record_transcript else None
+        )
+        queue_gauge = reg.gauge(
+            f"sched.async.queue_depth.{type(self.policy).__name__}"
         )
         for pid in range(self.n):
             self.processes[pid].on_start(self.contexts[pid])
@@ -364,24 +444,38 @@ class AsyncScheduler:
             if not links:
                 completed = all(self.contexts[p].decided for p in correct_ids)
                 break
+            queue_gauge.set(self.network.pending_count())
             link = self.policy.choose(links, self.network, self.rng)
             msg = self.network.pop(link)
             steps += 1
             if transcript is not None:
                 transcript.append((steps, msg))
-            targets = range(self.n) if msg.is_atomic_broadcast else (msg.dst,)
-            for dst in targets:
-                ctx = self.contexts[dst]
-                if ctx.halted:
-                    continue
-                self.processes[dst].on_message(ctx, msg.src, msg.tag, msg.payload)
-                self._flush_outbox(dst)
+            tracer = get_tracer()
+            step_span = (
+                tracer.span("sched.async.step", step=steps, src=msg.src,
+                            dst=msg.dst, tag=msg.tag)
+                if tracer.enabled
+                else NULL_SPAN
+            )
+            with step_span:
+                targets = range(self.n) if msg.is_atomic_broadcast else (msg.dst,)
+                for dst in targets:
+                    ctx = self.contexts[dst]
+                    if ctx.halted:
+                        continue
+                    self.processes[dst].on_message(
+                        ctx, msg.src, msg.tag, msg.payload
+                    )
+                    self._flush_outbox(dst)
 
         for pid, proc in self.processes.items():
             proc.on_stop(self.contexts[pid])
         decisions = {
             pid: ctx.decision for pid, ctx in self.contexts.items() if ctx.decided
         }
+        reg.counter("sched.async.steps").value = steps
+        reg.counter("sched.async.undelivered").value = self.network.pending_count()
+        _fold_network_stats(reg, self.network.stats)
         return RunResult(
             decisions=decisions,
             rounds=steps,
@@ -390,4 +484,5 @@ class AsyncScheduler:
             faulty=self.adversary.faulty,
             completed=completed,
             transcript=transcript,
+            metrics=reg,
         )

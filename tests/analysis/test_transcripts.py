@@ -100,3 +100,46 @@ class TestSummaries:
         assert "more)" in text  # truncation marker
         full = render_transcript(res.transcript, max_rows=100)
         assert full.count("->") == 12
+
+    def test_render_empty_transcript(self):
+        assert render_transcript([]) == ""
+
+
+class TestBusiestRound:
+    def _msg(self, src=0, tag="t"):
+        from repro.system.messages import Message
+
+        return Message(src, 1, tag, None)
+
+    def test_tie_broken_toward_earliest_round(self):
+        transcript = [
+            (2, self._msg()),
+            (2, self._msg()),
+            (0, self._msg()),
+            (0, self._msg()),
+            (1, self._msg()),
+        ]
+        s = summarize_transcript(transcript)
+        assert s.per_round == {0: 2, 1: 1, 2: 2}
+        assert s.busiest_round() == 0  # tie between 0 and 2 -> earliest
+
+    def test_strict_maximum_wins_regardless_of_order(self):
+        transcript = [(0, self._msg()), (3, self._msg()), (3, self._msg())]
+        assert summarize_transcript(transcript).busiest_round() == 3
+
+    def test_faulty_senders_counted_per_sender(self):
+        transcript = [
+            (0, self._msg(src=0, tag="a")),
+            (0, self._msg(src=2, tag="a")),
+            (1, self._msg(src=2, tag="b")),
+        ]
+        s = summarize_transcript(transcript, faulty=[2])
+        assert s.per_sender == {0: 1, 2: 2}
+        assert s.per_tag == {"a": 2, "b": 1}
+        assert s.faulty_share == pytest.approx(2 / 3)
+        assert s.rounds == 2
+
+    def test_all_faulty_transcript(self):
+        transcript = [(0, self._msg(src=1))] * 4
+        s = summarize_transcript(transcript, faulty=[1])
+        assert s.faulty_share == 1.0

@@ -1,0 +1,117 @@
+"""Tests for JSONL export/read round-trips and the renderers."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.profiling import (
+    metrics_record,
+    render_flame,
+    render_summary,
+    summarize_spans,
+)
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    read_jsonl,
+    trace_to_records,
+    use_registry,
+    use_tracer,
+    validate_records,
+    write_jsonl,
+)
+from repro.obs.tracer import trace_span
+
+
+def _sample_trace():
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    with use_tracer(tracer), use_registry(registry):
+        with trace_span("run", n=4):
+            with trace_span("round", round=0):
+                registry.inc("msgs", 12)
+            with trace_span("round", round=1):
+                registry.observe("lat.seconds", 0.25)
+        tracer.event("done", level="info", ok=True)
+    return tracer, registry
+
+
+class TestRoundTrip:
+    def test_write_read_identical(self, tmp_path):
+        tracer, registry = _sample_trace()
+        path = tmp_path / "trace.jsonl"
+        lines = write_jsonl(path, tracer, registry)
+        records = trace_to_records(tracer, registry)
+        assert lines == len(records) == 5  # 3 spans + 1 event + metrics
+        loaded = read_jsonl(path)
+        assert loaded == json.loads(json.dumps(records))  # full fidelity
+
+    def test_numpy_tags_serialised(self, tmp_path):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with trace_span("np", value=np.float64(0.5), vec=np.arange(3)):
+                pass
+        path = tmp_path / "np.jsonl"
+        write_jsonl(path, tracer)
+        (rec,) = read_jsonl(path)
+        assert rec["tags"] == {"value": 0.5, "vec": [0, 1, 2]}
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "span", "id": 0, "name": "a", "t0": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="invalid JSON"):
+            read_jsonl(path)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown type"):
+            validate_records([{"type": "mystery"}])
+
+    def test_dangling_parent_rejected(self):
+        with pytest.raises(ValueError, match="not a span id"):
+            validate_records(
+                [{"type": "span", "id": 1, "parent": 99, "name": "a", "t0": 0.0}]
+            )
+
+    def test_missing_metrics_payload_rejected(self):
+        with pytest.raises(ValueError, match="metrics payload"):
+            validate_records([{"type": "metrics"}])
+
+
+class TestRenderers:
+    def test_summary_aggregates_by_name(self):
+        tracer, registry = _sample_trace()
+        records = trace_to_records(tracer, registry)
+        stats = {s.name: s for s in summarize_spans(records)}
+        assert stats["round"].count == 2
+        assert stats["run"].count == 1
+        assert stats["run"].total >= stats["round"].total
+        text = render_summary(records)
+        assert "span summary" in text and "metrics" in text
+        assert "msgs" in text and "lat.seconds" in text
+
+    def test_flame_tree_indented(self):
+        tracer, registry = _sample_trace()
+        records = trace_to_records(tracer, registry)
+        flame = render_flame(records)
+        lines = flame.splitlines()
+        assert lines[0].startswith("run")
+        assert all("  round" in ln for ln in lines[1:3])
+        assert "round=0" in flame and "round=1" in flame
+
+    def test_flame_truncates_wide_sibling_lists(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with trace_span("root"):
+                for i in range(30):
+                    with trace_span("step", i=i):
+                        pass
+        flame = render_flame(trace_to_records(tracer), max_children=10)
+        assert "(20 more children)" in flame
+
+    def test_empty_inputs(self):
+        assert "no spans" in render_flame([])
+        assert "no spans" in render_summary([])
+        assert metrics_record([]) is None

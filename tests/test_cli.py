@@ -49,3 +49,102 @@ class TestCLI:
     def test_unknown_algorithm_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fuzz", "--algorithm", "bogus"])
+
+
+class TestArgumentValidation:
+    """Inconsistent sizes exit with a one-line error, not a traceback."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["demo", "--n", "3"],  # n < 3f+1 at f=1
+            ["demo", "--n", "6", "--f", "2"],
+            ["demo", "--d", "0"],
+            ["demo", "--f", "0"],
+            ["delta", "--n", "1", "--d", "2"],
+            ["delta", "--n", "4", "--d", "2", "--f", "4"],
+            ["fuzz", "--trials", "0"],
+        ],
+    )
+    def test_inconsistent_args_exit_2(self, argv, capsys):
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: ")
+        assert "Traceback" not in captured.err
+
+    def test_demo_error_suggests_fix(self, capsys):
+        main(["demo", "--n", "3"])
+        assert "n >= 3f+1" in capsys.readouterr().err
+
+
+class TestQuietVerbose:
+    def test_quiet_demo_prints_only_verdict(self, capsys):
+        assert main(["demo", "--quiet", "--d", "3", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "ALGO: ok=" in out
+        assert "traffic:" not in out
+        assert "decision:" not in out
+
+    def test_verbose_demo_echoes_events(self, capsys):
+        assert main(["demo", "--verbose", "--d", "3", "--seed", "1"]) == 0
+        err = capsys.readouterr().err
+        assert "demo.start" in err and "demo.done" in err
+
+    def test_quiet_and_verbose_conflict(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--quiet", "--verbose"])
+
+
+class TestTrace:
+    def test_trace_demo_writes_valid_jsonl(self, tmp_path, capsys):
+        from repro.analysis.profiling import metrics_record, summarize_spans
+        from repro.obs import read_jsonl
+
+        out = tmp_path / "demo.jsonl"
+        assert main(["trace", "--out", str(out), "demo", "--d", "3"]) == 0
+        records = read_jsonl(out)  # validates structure
+        names = {s.name for s in summarize_spans(records)}
+        assert "sched.sync.run" in names
+        assert "sched.sync.round" in names
+        assert "geometry.delta_star" in names
+        metrics = metrics_record(records)
+        assert metrics["net.messages_sent"]["value"] > 0
+        assert metrics["net.bytes_estimate"]["value"] > 0
+        assert metrics["geometry.delta_star.seconds"]["count"] > 0
+        assert "span summary" in capsys.readouterr().out
+
+    def test_trace_async_run_has_step_spans(self, tmp_path, capsys):
+        from repro.analysis.profiling import summarize_spans
+        from repro.obs import read_jsonl
+
+        out = tmp_path / "fuzz.jsonl"
+        code = main(["trace", "--out", str(out), "fuzz",
+                     "--algorithm", "averaging", "--trials", "1"])
+        assert code == 0
+        names = {s.name for s in summarize_spans(read_jsonl(out))}
+        assert "sched.async.run" in names
+        assert "sched.async.step" in names
+
+    def test_trace_flame_prints_tree(self, tmp_path, capsys):
+        out = tmp_path / "t.jsonl"
+        assert main(["trace", "--out", str(out), "--flame", "demo",
+                     "--d", "3"]) == 0
+        assert "sched.sync.round" in capsys.readouterr().out
+
+    def test_trace_propagates_inner_exit_code(self, tmp_path, capsys):
+        out = tmp_path / "bad.jsonl"
+        assert main(["trace", "--out", str(out), "demo", "--n", "3"]) == 2
+
+    def test_trace_requires_a_command(self, capsys):
+        assert main(["trace"]) == 2
+        assert "requires a command" in capsys.readouterr().err
+
+    def test_trace_cannot_nest(self, capsys):
+        assert main(["trace", "trace", "demo"]) == 2
+        assert "cannot wrap itself" in capsys.readouterr().err
+
+    def test_trace_unwritable_out_path_clean_error(self, capsys):
+        code = main(["trace", "--out", "/nonexistent/dir/x.jsonl",
+                     "demo", "--d", "3"])
+        assert code == 2
+        assert "cannot write trace" in capsys.readouterr().err
