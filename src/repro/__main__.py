@@ -6,8 +6,15 @@ Commands
 ``bounds``    print the paper's process-count bounds for given (d, f)
 ``delta``     compute δ*(S) for random or provided inputs
 ``verdicts``  execute the impossibility constructions for a given d
-``fuzz``      randomised adversary soak test of one algorithm
+``fuzz``      deterministic-simulation soak test of one algorithm
+``shrink``    minimise a violating scenario while the violation persists
+``replay``    re-execute a replay token / seed file under full tracing
 ``trace``     run any other command under the tracer, dump JSONL + summary
+
+``fuzz``/``shrink``/``replay`` are the deterministic simulation-testing
+loop (see ``docs/fuzzing.md``): every violation ``fuzz`` prints comes
+with a replay token; ``shrink`` minimises it; ``replay`` reproduces it
+bit-for-bit with a span/metrics forensic trail.
 
 Every command accepts ``--quiet`` / ``--verbose``, wired to the tracer's
 log level (``--verbose`` echoes debug events to stderr as they happen).
@@ -18,7 +25,10 @@ Examples::
     python -m repro bounds --d 5 --f 2
     python -m repro delta --n 5 --d 4 --f 1 --seed 0
     python -m repro verdicts --d 3
-    python -m repro fuzz --algorithm algo --trials 100
+    python -m repro fuzz --algorithm averaging --trials 50 --seed 7
+    python -m repro fuzz --algorithm algo --trials 5 --inject split-brain
+    python -m repro shrink --token dst1-...
+    python -m repro replay --token dst1-... --trace failure.jsonl
     python -m repro trace --out run.jsonl demo --d 3
 """
 
@@ -150,20 +160,142 @@ def _cmd_verdicts(args: argparse.Namespace) -> int:
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
-    from .analysis.fuzz import ALGORITHMS, fuzz_consensus
+    from .dst import explore, save_seed, shrink
 
     if args.trials < 1:
         return _fail(f"--trials must be >= 1, got {args.trials}")
     try:
-        failures = fuzz_consensus(args.algorithm, trials=args.trials,
-                                  seed=args.seed)
+        violations = explore(args.algorithm, trials=args.trials,
+                             seed=args.seed, inject=args.inject)
     except ValueError as exc:
         return _fail(str(exc))
-    print(f"{args.trials} randomised runs of {args.algorithm!r}: "
-          f"{len(failures)} invariant violations")
-    for fail in failures:
-        print(f"  {fail}")
-    return 1 if failures else 0
+    print(f"{args.trials} sampled scenarios of {args.algorithm!r}: "
+          f"{len(violations)} invariant violations")
+    for i, v in enumerate(violations):
+        s = v.scenario
+        print(f"  [{i}] {v.invariant}: {v.detail}")
+        print(f"      scenario: n={s.n} d={s.d} f={s.f} seed={s.seed} "
+              f"faults={s.strategy_label()} windows={len(s.schedule)}")
+        if args.shrink:
+            res = shrink(s, invariant=v.invariant)
+            from .dst import encode_token
+
+            small = res.shrunk
+            print(f"      shrunk:   n={small.n} d={small.d} f={small.f} "
+                  f"clauses={len(small.faults)} windows={len(small.schedule)} "
+                  f"({res.accepted} edits kept of {res.attempts} tried)")
+            print(f"      replay: python -m repro replay --token "
+                  f"{encode_token(small)}")
+        else:
+            print(f"      replay: {v.replay_command}")
+            print(f"      shrink: {v.shrink_command}")
+        if args.save_dir:
+            import os
+
+            os.makedirs(args.save_dir, exist_ok=True)
+            target = s if not args.shrink else res.shrunk
+            path = os.path.join(
+                args.save_dir, f"{args.algorithm}-{v.invariant}-{s.seed}.json"
+            )
+            save_seed(path, target, expect={"violates": v.invariant},
+                      notes=f"found by: python -m repro fuzz --algorithm "
+                            f"{args.algorithm} --trials {args.trials} "
+                            f"--seed {args.seed}"
+                            + (f" --inject {args.inject}" if args.inject else ""))
+            print(f"      saved: {path}")
+    return 1 if violations else 0
+
+
+def _resolve_scenario(args: argparse.Namespace):
+    """Shared --token/--seed-file resolution for shrink/replay.
+
+    Returns (scenario, seed_case_or_None) or an int error code.
+    """
+    from .dst import decode_token
+    from .dst.corpus import load_seed
+
+    if bool(args.token) == bool(args.seed_file):
+        return _fail("provide exactly one of --token or --seed-file")
+    if args.token:
+        try:
+            return decode_token(args.token), None
+        except ValueError as exc:
+            return _fail(str(exc))
+    try:
+        case = load_seed(args.seed_file)
+    except (OSError, ValueError, KeyError) as exc:
+        return _fail(f"cannot load seed file {args.seed_file!r}: {exc}")
+    return case.scenario, case
+
+
+def _cmd_shrink(args: argparse.Namespace) -> int:
+    from .dst import encode_token, save_seed, shrink
+
+    resolved = _resolve_scenario(args)
+    if isinstance(resolved, int):
+        return resolved
+    scenario, case = resolved
+    invariant = args.invariant
+    if invariant is None and case is not None:
+        invariant = case.expected_violation
+    try:
+        res = shrink(scenario, invariant=invariant,
+                     max_attempts=args.max_attempts)
+    except ValueError as exc:
+        return _fail(str(exc))
+    o, s = res.original, res.shrunk
+    print(f"shrinking while {res.invariant!r} stays violated: "
+          f"{res.accepted} edits kept of {res.attempts} tried")
+    print(f"  original: n={o.n} d={o.d} f={o.f} clauses={len(o.faults)} "
+          f"windows={len(o.schedule)}")
+    print(f"  shrunk:   n={s.n} d={s.d} f={s.f} clauses={len(s.faults)} "
+          f"windows={len(s.schedule)}")
+    token = encode_token(s)
+    print(f"  token:  {token}")
+    print(f"  replay: python -m repro replay --token {token}")
+    if args.out:
+        save_seed(args.out, s, expect={"violates": res.invariant},
+                  notes=args.notes or "shrunk counterexample")
+        print(f"  saved:  {args.out}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .dst import replay
+
+    resolved = _resolve_scenario(args)
+    if isinstance(resolved, int):
+        return resolved
+    scenario, case = resolved
+    try:
+        report = replay(scenario, trace_path=args.trace)
+    except ValueError as exc:
+        return _fail(str(exc))
+    s = scenario
+    print(f"replayed {s.algorithm!r}: n={s.n} d={s.d} f={s.f} seed={s.seed} "
+          f"faults={s.strategy_label()} windows={len(s.schedule)}"
+          + (f" inject={s.inject}" if s.inject else ""))
+    result = report.result
+    if result.ok:
+        print("invariants: all hold (agreement, validity, termination)")
+    else:
+        for name, detail in sorted(result.violations.items()):
+            print(f"violated {name}: {detail}")
+    m = report.metrics
+    print(f"forensics: {len(report.tracer.spans)} spans, "
+          f"{m.counter_value('net.messages_sent')} messages, "
+          f"{result.outcome.result.rounds} rounds/steps"
+          + (f" -> {report.trace_path}" if report.trace_path else ""))
+    if case is not None:
+        mismatch = case.check(result)
+        if mismatch:
+            print(f"expectation MISMATCH: {mismatch}")
+            return 1
+        print(f"expectation holds: "
+              + ("clean run" if case.expect_ok
+                 else f"reproduces {case.expected_violation!r}"))
+        return 0
+    return 1 if not result.ok else 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -248,12 +380,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_verdicts)
 
     p = sub.add_parser("fuzz", parents=[common],
-                       help="randomised adversary soak test")
+                       help="deterministic-simulation soak test")
     p.add_argument("--algorithm", default="algo",
                    choices=["exact", "algo", "k1", "averaging"])
     p.add_argument("--trials", type=int, default=50)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--inject", default=None,
+                   choices=["split-brain", "stale-echo"],
+                   help="enable a named bug injection (demo/testing of the "
+                        "fuzz->shrink->replay loop)")
+    p.add_argument("--shrink", action="store_true",
+                   help="minimise each violation before printing its token")
+    p.add_argument("--save-dir", default=None,
+                   help="write each violation as a seed file in this directory")
     p.set_defaults(func=_cmd_fuzz)
+
+    for name, helptext in (
+        ("shrink", "minimise a violating scenario (same invariant must "
+                   "keep failing)"),
+        ("replay", "re-execute a token/seed file under full tracing"),
+    ):
+        p = sub.add_parser(name, parents=[common], help=helptext)
+        p.add_argument("--token", default=None,
+                       help="replay token (dst1-...) as printed by fuzz")
+        p.add_argument("--seed-file", default=None,
+                       help="corpus seed file (tests/corpus/*.json)")
+        if name == "shrink":
+            p.add_argument("--invariant", default=None,
+                           choices=["agreement", "validity", "termination"],
+                           help="invariant to preserve (default: first "
+                                "violated)")
+            p.add_argument("--max-attempts", type=int, default=200)
+            p.add_argument("--out", default=None,
+                           help="write the shrunk scenario as a seed file")
+            p.add_argument("--notes", default=None,
+                           help="notes stored in the --out seed file")
+            p.set_defaults(func=_cmd_shrink)
+        else:
+            p.add_argument("--trace", default=None,
+                           help="dump the forensic span/metrics trail as "
+                                "JSONL to this path")
+            p.set_defaults(func=_cmd_replay)
 
     p = sub.add_parser(
         "trace", parents=[common],

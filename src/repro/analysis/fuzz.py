@@ -1,25 +1,26 @@
-"""Randomised adversary fuzzing: invariant checking at scale.
+"""Randomised adversary fuzzing — deprecated shim over :mod:`repro.dst`.
 
-The proofs quantify over *all* Byzantine behaviours; unit tests exercise
-hand-picked ones.  This module fills the space between: it samples random
-fault patterns (who is corrupt, which strategy, with random parameters),
-random inputs, and random delivery schedules, runs a consensus algorithm,
-and checks the problem invariants on every run.  A single surviving
-violation is returned with its full seed, so it can be replayed as a
-regression test.
+.. deprecated::
+    The fuzz harness grew into the deterministic simulation-testing
+    subsystem :mod:`repro.dst` (scenario DSL, counterexample shrinking,
+    replayable seed corpus).  This module keeps the original public API —
+    :func:`fuzz_consensus`, :class:`FuzzFailure`, :func:`random_adversary`,
+    :data:`ALGORITHMS` — as thin wrappers so existing callers keep
+    working, and emits :class:`DeprecationWarning` on use.  New code
+    should call :func:`repro.dst.explore` directly and gets scenarios,
+    replay tokens, and shrinking for free::
 
-Used by the failure-injection test suite and available to users as a
-soak-testing entry point::
-
-    from repro.analysis.fuzz import fuzz_consensus
-    failures = fuzz_consensus("algo", trials=200, seed=7)
-    assert not failures
+        from repro.dst import explore, shrink, replay
+        violations = explore("algo", trials=200, seed=7)
+        small = shrink(violations[0].scenario)
+        replay(small.shrunk)         # traced, deterministic re-execution
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable
 
 import numpy as np
 
@@ -30,23 +31,32 @@ from ..core.runner import (
     run_exact_bvc,
     run_k_relaxed,
 )
-from ..system.adversary import (
-    Adversary,
-    ByzantineStrategy,
-    CrashStrategy,
-    DuplicateStrategy,
-    EquivocateStrategy,
-    HonestStrategy,
-    MutateStrategy,
-    SilentStrategy,
-)
+from ..dst.explore import explore
+from ..dst.scenarios import FaultClause, adversary_from_clauses
+from ..system.adversary import Adversary
 
 __all__ = ["FuzzFailure", "random_adversary", "fuzz_consensus", "ALGORITHMS"]
 
 
+def _deprecated(api: str) -> None:
+    warnings.warn(
+        f"repro.analysis.fuzz.{api} is deprecated; use repro.dst "
+        "(explore / shrink / replay) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 @dataclass(frozen=True)
 class FuzzFailure:
-    """One invariant violation, with everything needed to replay it."""
+    """One invariant violation, with everything needed to replay it.
+
+    ``invariant`` names the first violated invariant (``"agreement"``,
+    ``"validity"`` or ``"termination"``) and ``replay`` is a
+    ready-to-paste shell command that deterministically reproduces the
+    run, e.g. ``python -m repro replay --token dst1-...``.  Both default
+    empty for backward compatibility with hand-built records.
+    """
 
     algorithm: str
     seed: int
@@ -57,57 +67,56 @@ class FuzzFailure:
     agreement_ok: bool
     validity_ok: bool
     termination_ok: bool
+    invariant: str = ""
+    replay: str = ""
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
-        return (
+        head = (
             f"[{self.algorithm}] seed={self.seed} n={self.n} d={self.d} "
             f"f={self.f} strategy={self.strategy_name} "
             f"agreement={self.agreement_ok} validity={self.validity_ok} "
             f"termination={self.termination_ok}"
         )
-
-
-def _random_value_noise(scale: float):
-    """Payload mutator: add structured noise to any numeric tuple found
-    in the payload (protocol-agnostic best effort)."""
-
-    def mutate(value, rng):
-        if isinstance(value, tuple):
-            if all(isinstance(v, float) for v in value) and value:
-                return tuple(v + float(rng.normal() * scale) for v in value)
-            return tuple(mutate(v, rng) for v in value)
-        return value
-
-    return mutate
+        if self.invariant:
+            head += f" violated={self.invariant}"
+        if self.replay:
+            head += f"\n  replay: {self.replay}"
+        return head
 
 
 def random_adversary(
     rng: np.random.Generator, n: int, f: int
 ) -> tuple[Adversary, str]:
-    """Sample a fault pattern: random corrupt set + random strategy."""
+    """Sample a fault pattern: random corrupt set + random strategy.
+
+    Deprecated; :func:`repro.dst.sample_scenario` samples richer,
+    serialisable fault scripts.
+    """
+    _deprecated("random_adversary")
     count = int(rng.integers(0, f + 1))
-    faulty = sorted(rng.choice(n, size=count, replace=False).tolist())
-    kind = rng.choice(
+    pids = sorted(rng.choice(n, size=count, replace=False).tolist())
+    kind = str(rng.choice(
         ["honest", "silent", "crash", "mutate", "equivocate", "duplicate"]
-    )
-    noise = _random_value_noise(float(rng.uniform(0.5, 100.0)))
-    strategy: ByzantineStrategy
-    if kind == "honest":
-        strategy = HonestStrategy()
-    elif kind == "silent":
-        strategy = SilentStrategy()
-    elif kind == "crash":
-        strategy = CrashStrategy(int(rng.integers(0, 3)))
-    elif kind == "mutate":
-        strategy = MutateStrategy(lambda tag, p, r: noise(p, r))
-    elif kind == "equivocate":
-        strategy = EquivocateStrategy(lambda tag, p, dst, r: noise(p, r))
-    else:
-        strategy = DuplicateStrategy(int(rng.integers(2, 4)))
-    return Adversary(faulty=faulty, strategy=strategy), str(kind)
+    ))
+    scale = float(rng.uniform(0.5, 100.0))
+    clauses = []
+    for pid in pids:
+        if kind == "crash":
+            clauses.append(
+                FaultClause(pid=pid, kind="silent", start=int(rng.integers(0, 3)))
+            )
+        elif kind in ("mutate", "equivocate"):
+            clauses.append(FaultClause(pid=pid, kind=kind, param=scale))
+        elif kind == "duplicate":
+            clauses.append(
+                FaultClause(pid=pid, kind="duplicate", param=float(rng.integers(2, 4)))
+            )
+        else:
+            clauses.append(FaultClause(pid=pid, kind=kind))
+    return adversary_from_clauses(clauses), kind
 
 
-#: algorithm name -> (runner thunk, n chooser).  Each thunk gets
+#: algorithm name -> (runner thunk).  Each thunk gets
 #: (inputs, f, adversary, seed) and returns a ConsensusOutcome.
 ALGORITHMS: dict[str, Callable[..., ConsensusOutcome]] = {
     "exact": lambda inputs, f, adv, seed: run_exact_bvc(
@@ -125,21 +134,6 @@ ALGORITHMS: dict[str, Callable[..., ConsensusOutcome]] = {
 }
 
 
-def _system_shape(rng: np.random.Generator, algorithm: str) -> tuple[int, int, int]:
-    """Sample a legal (n, d, f) for the algorithm."""
-    f = 1
-    if algorithm == "exact":
-        d = int(rng.integers(1, 4))
-        n = max(3 * f + 1, (d + 1) * f + 1) + int(rng.integers(0, 2))
-    elif algorithm in ("algo", "averaging"):
-        d = int(rng.integers(2, 5))
-        n = max(4, d + 1)
-    else:  # k1
-        d = int(rng.integers(1, 6))
-        n = 4 + int(rng.integers(0, 2))
-    return n, d, f
-
-
 def fuzz_consensus(
     algorithm: str,
     trials: int = 50,
@@ -150,44 +144,39 @@ def fuzz_consensus(
 ) -> list[FuzzFailure]:
     """Run ``trials`` randomised executions; return every violation.
 
-    Parameters
-    ----------
-    algorithm:
-        One of :data:`ALGORITHMS` (``"exact"``, ``"algo"``, ``"k1"``,
-        ``"averaging"``).
-    trials, seed:
-        Sweep size and master seed (each trial derives its own).
-    input_scale:
-        Standard deviation of the gaussian inputs.
-    stop_on_first:
-        Return immediately on the first violation (debugging mode).
+    Deprecated thin wrapper over :func:`repro.dst.explore`; see the
+    module docstring.  Results stay deterministic in ``(algorithm,
+    trials, seed)`` and each failure now carries the violated-invariant
+    name plus a replay command.
     """
     if algorithm not in ALGORITHMS:
-        raise ValueError(f"unknown algorithm {algorithm!r}; choices {sorted(ALGORITHMS)}")
-    runner = ALGORITHMS[algorithm]
-    master = np.random.default_rng(seed)
-    failures: list[FuzzFailure] = []
-    for t in range(trials):
-        trial_seed = int(master.integers(0, 2**31 - 1))
-        rng = np.random.default_rng(trial_seed)
-        n, d, f = _system_shape(rng, algorithm)
-        inputs = rng.normal(scale=input_scale, size=(n, d))
-        adversary, strategy_name = random_adversary(rng, n, f)
-        outcome = runner(inputs, f, adversary, trial_seed)
-        if not outcome.ok:
-            failures.append(
-                FuzzFailure(
-                    algorithm=algorithm,
-                    seed=trial_seed,
-                    n=n,
-                    d=d,
-                    f=f,
-                    strategy_name=strategy_name,
-                    agreement_ok=outcome.report.agreement_ok,
-                    validity_ok=outcome.report.validity_ok,
-                    termination_ok=outcome.report.termination_ok,
-                )
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choices {sorted(ALGORITHMS)}"
+        )
+    _deprecated("fuzz_consensus")
+    violations = explore(
+        algorithm,
+        trials=trials,
+        seed=seed,
+        input_scale=input_scale,
+        stop_on_first=stop_on_first,
+    )
+    failures = []
+    for v in violations:
+        s = v.scenario
+        failures.append(
+            FuzzFailure(
+                algorithm=s.algorithm,
+                seed=s.seed,
+                n=s.n,
+                d=s.d,
+                f=s.f,
+                strategy_name=s.strategy_label(),
+                agreement_ok=v.agreement_ok,
+                validity_ok=v.validity_ok,
+                termination_ok=v.termination_ok,
+                invariant=v.invariant,
+                replay=v.replay_command,
             )
-            if stop_on_first:
-                break
+        )
     return failures

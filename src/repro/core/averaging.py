@@ -155,6 +155,8 @@ class VerifiedAveragingProcess(AsyncProcess):
         self.current_round = 0  # highest round we have broadcast
         self.my_values: dict[int, np.ndarray] = {0: self.input_value.copy()}
         self.delta_used: Optional[float] = None
+        #: δ of the most recent round-1 selection (cache bookkeeping).
+        self._claim_delta: Optional[float] = None
 
     # --------------------------------------------------------------- helpers
     def _machine(self, sender: int, round: int) -> BrachaState:
@@ -235,6 +237,21 @@ class VerifiedAveragingProcess(AsyncProcess):
             return self._select_round1(X)
         return X.mean(axis=0)
 
+    def _note_delta(self, value: float) -> None:
+        """Fold one verified round-1 claim's δ into :attr:`delta_used`.
+
+        The validity guarantee quantifies over *every* round-1 value that
+        enters the averaging — including verified claims from Byzantine
+        senders, whose reference sets may force a larger δ than this
+        process's own selection.  ``delta_used`` is therefore the running
+        max over all round-1 selections this process verified, so the
+        checker's ``max`` over correct processes bounds every value any
+        decision averaged in.
+        """
+        self.delta_used = (
+            value if self.delta_used is None else max(self.delta_used, value)
+        )
+
     def _select_round1(self, X: np.ndarray) -> np.ndarray:
         # Every correct process recomputes the same deterministic selection
         # for the same reference set; memoise across process objects so the
@@ -242,12 +259,12 @@ class VerifiedAveragingProcess(AsyncProcess):
         key = (self.mode, self.delta, self.p, self.f, X.shape, X.tobytes())
         cached = _SELECT_CACHE.get(key)
         if cached is not None:
-            self.delta_used = cached[1]
+            self._note_delta(cached[1])
             return cached[0].copy()
         point = self._select_round1_uncached(X)
         if len(_SELECT_CACHE) > _SELECT_CACHE_MAX:
             _SELECT_CACHE.clear()
-        _SELECT_CACHE[key] = (point.copy(), self.delta_used)
+        _SELECT_CACHE[key] = (point.copy(), self._claim_delta)
         return point
 
     def _select_round1_uncached(self, X: np.ndarray) -> np.ndarray:
@@ -258,7 +275,8 @@ class VerifiedAveragingProcess(AsyncProcess):
                     f"Γ(X) empty with |X|={X.shape[0]}, d={self.d}, f={self.f}: "
                     "δ=0 averaging requires n >= (d+2)f+1 (Theorem 2)"
                 )
-            self.delta_used = 0.0
+            self._claim_delta = 0.0
+            self._note_delta(0.0)
             return point
         if self.mode == "fixed":
             point = gamma_delta_p_point(X, self.f, self.delta, self.p)
@@ -267,10 +285,12 @@ class VerifiedAveragingProcess(AsyncProcess):
                     f"Γ_(δ,p)(X) empty for fixed δ={self.delta}: the chosen "
                     "constant relaxation is below δ*(X) (cf. Theorem 6)"
                 )
-            self.delta_used = self.delta
+            self._claim_delta = self.delta
+            self._note_delta(self.delta)
             return point
         result = delta_star(X, self.f, p=self.p)
-        self.delta_used = result.value
+        self._claim_delta = result.value
+        self._note_delta(result.value)
         return result.point
 
     def _progress(self, ctx: Context) -> None:

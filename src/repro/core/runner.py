@@ -329,9 +329,12 @@ def run_averaging(
         and getattr(proc, "delta_used", None) is not None
     ]
     delta_used = max(deltas) if deltas else None
-    spec = DeltaPApproximateBVC(
-        d, f, delta=(delta_used if delta_used is not None else delta), p=p,
-        epsilon=epsilon,
+    # Like run_algo: the selected points sit exactly at distance δ from
+    # some subset hull, so the membership check needs solver-tolerance
+    # headroom beyond the achieved δ.
+    check_delta = (
+        delta_used * (1.0 + 1e-6) + 1e-9 if delta_used is not None else delta
     )
+    spec = DeltaPApproximateBVC(d, f, delta=check_delta, p=p, epsilon=epsilon)
     report = spec.check(honest, decisions, terminated=result.completed)
     return ConsensusOutcome(decisions, report, result, honest, delta_used)

@@ -1,0 +1,413 @@
+"""Seed-driven scenario explorer: sample, run, check, record.
+
+The explorer is the deterministic-simulation successor of
+``repro.analysis.fuzz``: every trial derives one :class:`Scenario` from
+the master seed, runs it through the full protocol stack, evaluates the
+**checker registry** (agreement / validity / termination by default —
+pluggable via :func:`register_checker`), and — when an invariant breaks —
+records a :class:`Violation` carrying a compact replay token and a
+ready-to-paste replay command.  Because a scenario is plain data, a
+violation found here is already a regression test: shrink it
+(:mod:`repro.dst.shrink`) and commit it to ``tests/corpus/``
+(:mod:`repro.dst.corpus`).
+
+Bug *injections* (:data:`INJECTIONS`) are deliberately broken
+post-processing steps — they perturb the decision map after the run, the
+way an implementation bug in a decision rule would — used to exercise and
+demo the fuzz → shrink → replay loop against a stack whose real
+algorithms (correctly) refuse to produce counterexamples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional
+
+import numpy as np
+
+from ..core.problems import agreement_diameter
+from ..core.runner import (
+    ConsensusOutcome,
+    run_algo,
+    run_averaging,
+    run_exact_bvc,
+    run_k_relaxed,
+)
+from .scenarios import (
+    FaultClause,
+    Scenario,
+    ScheduleWindow,
+    build_adversary,
+    build_policy,
+    min_system_size,
+)
+
+__all__ = [
+    "ALGORITHM_NAMES",
+    "AVERAGING_EPSILON",
+    "CHECKERS",
+    "INJECTIONS",
+    "ExplorationResult",
+    "Violation",
+    "explore",
+    "register_checker",
+    "run_scenario",
+    "sample_scenario",
+]
+
+#: The four consensus algorithms under test.
+ALGORITHM_NAMES = ("exact", "algo", "k1", "averaging")
+
+#: ε-agreement target used for the asynchronous algorithm in exploration
+#: (matches the legacy fuzz harness's run_averaging epsilon).
+AVERAGING_EPSILON = 5e-2
+
+
+def _run_for(scenario: Scenario) -> ConsensusOutcome:
+    inputs = scenario.inputs()
+    adversary = build_adversary(scenario)
+    if scenario.algorithm == "exact":
+        return run_exact_bvc(inputs, scenario.f, adversary=adversary, seed=scenario.seed)
+    if scenario.algorithm == "algo":
+        return run_algo(inputs, scenario.f, adversary=adversary, seed=scenario.seed)
+    if scenario.algorithm == "k1":
+        return run_k_relaxed(inputs, scenario.f, 1, adversary=adversary, seed=scenario.seed)
+    assert scenario.algorithm == "averaging"
+    return run_averaging(
+        inputs,
+        scenario.f,
+        adversary=adversary,
+        epsilon=AVERAGING_EPSILON,
+        policy=build_policy(scenario),
+        seed=scenario.seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# checker registry
+# ---------------------------------------------------------------------------
+
+#: A checker inspects one finished run and returns a human-readable
+#: violation detail, or None when its invariant holds.  ``decisions`` is
+#: the (possibly injection-perturbed) correct-process decision map the
+#: invariants are evaluated on.
+CheckerFn = Callable[
+    [Scenario, ConsensusOutcome, Mapping[int, np.ndarray]], Optional[str]
+]
+
+CHECKERS: dict[str, CheckerFn] = {}
+
+
+def register_checker(name: str) -> Callable[[CheckerFn], CheckerFn]:
+    """Decorator: add an invariant checker under ``name``."""
+
+    def deco(fn: CheckerFn) -> CheckerFn:
+        CHECKERS[name] = fn
+        return fn
+
+    return deco
+
+
+@register_checker("agreement")
+def _check_agreement(scenario, outcome, decisions):
+    tol = AVERAGING_EPSILON + 1e-9 if scenario.algorithm == "averaging" else 1e-9
+    diam = agreement_diameter(decisions)
+    if diam > tol:
+        return f"decision diameter {diam:.6g} exceeds {tol:.6g}"
+    if not outcome.report.agreement_ok:
+        return f"checker reported diameter {outcome.report.agreement_diameter:.6g}"
+    return None
+
+
+@register_checker("validity")
+def _check_validity(scenario, outcome, decisions):
+    if outcome.report.validity_ok:
+        return None
+    worst = max(outcome.report.violations.values(), default=0.0)
+    return f"{len(outcome.report.violations)} decisions outside the valid set (worst {worst:.6g})"
+
+
+@register_checker("termination")
+def _check_termination(scenario, outcome, decisions):
+    if outcome.report.termination_ok:
+        return None
+    return f"run ended after {outcome.result.rounds} rounds/steps without all correct decisions"
+
+
+# ---------------------------------------------------------------------------
+# bug injections (demo/test instrumentation)
+# ---------------------------------------------------------------------------
+
+#: name -> fn(decisions, scenario) -> perturbed decisions (a copy).
+INJECTIONS: dict[
+    str, Callable[[dict[int, np.ndarray], Scenario], dict[int, np.ndarray]]
+] = {}
+
+
+def _register_injection(name: str):
+    def deco(fn):
+        INJECTIONS[name] = fn
+        return fn
+
+    return deco
+
+
+@_register_injection("split-brain")
+def _inject_split_brain(decisions, scenario):
+    """One process 'decides' an offset value — a broken decision rule."""
+    out = {pid: np.array(v, dtype=float, copy=True) for pid, v in decisions.items()}
+    if out:
+        pid = min(out)
+        out[pid] = out[pid] + 10.0 * scenario.input_scale
+    return out
+
+
+@_register_injection("stale-echo")
+def _inject_stale_echo(decisions, scenario):
+    """Two processes swap halves of their decisions — a buffer-reuse bug."""
+    out = {pid: np.array(v, dtype=float, copy=True) for pid, v in decisions.items()}
+    pids = sorted(out)
+    if len(pids) >= 2:
+        a, b = pids[0], pids[1]
+        half = max(1, scenario.d // 2)
+        out[a][:half], out[b][:half] = out[b][:half].copy(), out[a][:half].copy()
+        out[a][:half] += scenario.input_scale
+    return out
+
+
+# ---------------------------------------------------------------------------
+# running + recording
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExplorationResult:
+    """One executed scenario with its verdicts."""
+
+    scenario: Scenario
+    outcome: ConsensusOutcome
+    #: checker name -> violation detail, for every checker that failed.
+    violations: dict[str, str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def invariant(self) -> Optional[str]:
+        """First violated invariant in registry order (None when ok)."""
+        for name in CHECKERS:
+            if name in self.violations:
+                return name
+        return next(iter(self.violations), None)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """An invariant violation, replayable from its token alone."""
+
+    scenario: Scenario
+    invariant: str
+    detail: str
+    token: str
+    agreement_ok: bool
+    validity_ok: bool
+    termination_ok: bool
+
+    @property
+    def replay_command(self) -> str:
+        """Ready-to-paste CLI command reproducing this violation."""
+        return f"python -m repro replay --token {self.token}"
+
+    @property
+    def shrink_command(self) -> str:
+        return f"python -m repro shrink --token {self.token}"
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.scenario
+        return (
+            f"[{s.algorithm}] {self.invariant}: {self.detail} "
+            f"(n={s.n} d={s.d} f={s.f} seed={s.seed} "
+            f"faults={s.strategy_label()})\n  replay: {self.replay_command}"
+        )
+
+
+def run_scenario(
+    scenario: Scenario,
+    *,
+    checkers: Optional[Mapping[str, CheckerFn]] = None,
+) -> ExplorationResult:
+    """Execute one scenario and evaluate every registered invariant."""
+    scenario.validate()
+    outcome = _run_for(scenario)
+    decisions: Mapping[int, np.ndarray] = outcome.decisions
+    if scenario.inject is not None:
+        if scenario.inject not in INJECTIONS:
+            raise ValueError(
+                f"unknown injection {scenario.inject!r}; choices {sorted(INJECTIONS)}"
+            )
+        decisions = INJECTIONS[scenario.inject](dict(decisions), scenario)
+    active = dict(checkers) if checkers is not None else CHECKERS
+    violations = {}
+    for name, fn in active.items():
+        detail = fn(scenario, outcome, decisions)
+        if detail is not None:
+            violations[name] = detail
+    return ExplorationResult(scenario=scenario, outcome=outcome, violations=violations)
+
+
+def violation_from(result: ExplorationResult) -> Violation:
+    """Package a failed run as a :class:`Violation` (token included)."""
+    from .corpus import encode_token  # local import: corpus imports explore
+
+    assert result.violations, "no invariant violated"
+    invariant = result.invariant
+    report = result.outcome.report
+    return Violation(
+        scenario=result.scenario,
+        invariant=invariant or "unknown",
+        detail=result.violations.get(invariant or "", ""),
+        token=encode_token(result.scenario),
+        agreement_ok="agreement" not in result.violations and report.agreement_ok,
+        validity_ok="validity" not in result.violations and report.validity_ok,
+        termination_ok="termination" not in result.violations
+        and report.termination_ok,
+    )
+
+
+# ---------------------------------------------------------------------------
+# sampling
+# ---------------------------------------------------------------------------
+
+
+def _sample_shape(rng: np.random.Generator, algorithm: str) -> tuple[int, int, int]:
+    """Sample a legal (n, d, f), biased toward the resilience boundary."""
+    f = 1
+    if algorithm == "exact":
+        d = int(rng.integers(1, 4))
+    elif algorithm in ("algo", "averaging"):
+        d = int(rng.integers(2, 5))
+    else:  # k1
+        d = int(rng.integers(1, 6))
+    n = min_system_size(algorithm, d, f) + int(rng.integers(0, 2))
+    return n, d, f
+
+
+def _sample_faults(
+    rng: np.random.Generator, n: int, f: int, horizon: int
+) -> tuple[FaultClause, ...]:
+    """Sample a fault script: corrupt set + windowed, possibly switching kinds."""
+    count = int(rng.integers(0, f + 1))
+    pids = sorted(rng.choice(n, size=count, replace=False).tolist())
+    clauses: list[FaultClause] = []
+    kinds = ("silent", "mutate", "equivocate", "duplicate", "drop", "honest")
+    for pid in pids:
+        segments = int(rng.integers(1, 3))
+        start = 0
+        for i in range(segments):
+            kind = str(rng.choice(kinds))
+            if kind == "drop":
+                param = float(rng.uniform(0.2, 1.0))
+            elif kind == "duplicate":
+                param = float(rng.integers(2, 4))
+            else:
+                param = float(rng.uniform(0.5, 100.0))
+            last = i == segments - 1
+            end = None if last else int(start + rng.integers(1, max(2, horizon // 2)))
+            clauses.append(
+                FaultClause(pid=pid, kind=kind, start=start, end=end, param=param)
+            )
+            start = end if end is not None else start
+    return tuple(clauses)
+
+
+def _sample_schedule(
+    rng: np.random.Generator, n: int
+) -> tuple[ScheduleWindow, ...]:
+    """Sample 0-2 delivery windows for an async run."""
+    windows: list[ScheduleWindow] = []
+    for _ in range(int(rng.integers(0, 3))):
+        kind = str(rng.choice(("partition", "delay", "fifo", "reorder")))
+        start = int(rng.integers(0, 200))
+        end = start + int(rng.integers(20, 400))
+        if kind == "partition":
+            cut = int(rng.integers(1, n))
+            perm = rng.permutation(n).tolist()
+            groups = (tuple(sorted(perm[:cut])), tuple(sorted(perm[cut:])))
+            windows.append(
+                ScheduleWindow(kind=kind, start=start, end=end, groups=groups)
+            )
+        elif kind == "delay":
+            k = int(rng.integers(1, max(2, n // 2)))
+            victims = tuple(sorted(rng.choice(n, size=k, replace=False).tolist()))
+            windows.append(
+                ScheduleWindow(kind=kind, start=start, end=end, victims=victims)
+            )
+        else:
+            windows.append(ScheduleWindow(kind=kind, start=start, end=end))
+    return tuple(windows)
+
+
+def sample_scenario(
+    rng: np.random.Generator,
+    algorithm: str,
+    *,
+    seed: Optional[int] = None,
+    input_scale: float = 3.0,
+    inject: Optional[str] = None,
+) -> Scenario:
+    """Draw one random scenario for ``algorithm`` from ``rng``."""
+    if algorithm not in ALGORITHM_NAMES:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choices {sorted(ALGORITHM_NAMES)}"
+        )
+    n, d, f = _sample_shape(rng, algorithm)
+    # Sync runs live for tens of rounds; async clocks tick per activation.
+    horizon = 8 if algorithm != "averaging" else 40
+    faults = _sample_faults(rng, n, f, horizon)
+    schedule = _sample_schedule(rng, n) if algorithm == "averaging" else ()
+    scen = Scenario(
+        algorithm=algorithm,
+        n=n,
+        d=d,
+        f=f,
+        seed=int(seed if seed is not None else rng.integers(0, 2**31 - 1)),
+        input_scale=input_scale,
+        faults=faults,
+        schedule=schedule,
+        inject=inject,
+    )
+    scen.validate()
+    return scen
+
+
+def explore(
+    algorithm: str,
+    trials: int = 50,
+    seed: int = 0,
+    *,
+    input_scale: float = 3.0,
+    inject: Optional[str] = None,
+    stop_on_first: bool = False,
+    checkers: Optional[Mapping[str, CheckerFn]] = None,
+) -> list[Violation]:
+    """Run ``trials`` sampled scenarios; return every invariant violation.
+
+    Deterministic in ``(algorithm, trials, seed, input_scale, inject)``:
+    trial *t* always runs the same scenario, and each violation's token
+    replays independently of the sweep that found it.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    master = np.random.default_rng(seed)
+    violations: list[Violation] = []
+    for _ in range(trials):
+        scenario = sample_scenario(
+            master, algorithm, input_scale=input_scale, inject=inject
+        )
+        result = run_scenario(scenario, checkers=checkers)
+        if not result.ok:
+            violations.append(violation_from(result))
+            if stop_on_first:
+                break
+    return violations

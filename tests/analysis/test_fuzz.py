@@ -31,10 +31,60 @@ class TestHarness:
         f = FuzzFailure("algo", 1, 4, 3, 1, "silent", True, False, True)
         assert "algo" in str(f)
 
+    def test_failure_record_carries_replay_info(self):
+        f = FuzzFailure(
+            "algo", 1, 4, 3, 1, "silent", False, True, True,
+            invariant="agreement",
+            replay="python -m repro replay --token dst1-abc",
+        )
+        s = str(f)
+        assert "violated=agreement" in s
+        assert "python -m repro replay --token dst1-abc" in s
+
     def test_deterministic_given_seed(self):
         a = fuzz_consensus("k1", trials=5, seed=9)
         b = fuzz_consensus("k1", trials=5, seed=9)
         assert a == b
+
+
+class TestDeprecationShim:
+    """The legacy fuzz API is now a wrapper over :mod:`repro.dst`."""
+
+    def test_fuzz_consensus_warns(self):
+        with pytest.deprecated_call():
+            fuzz_consensus("algo", trials=1, seed=0)
+
+    def test_random_adversary_warns(self, rng):
+        with pytest.deprecated_call():
+            random_adversary(rng, 4, 1)
+
+    def test_unknown_algorithm_fails_before_warning(self):
+        # Argument validation still happens eagerly, matching the old API.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with pytest.raises(ValueError):
+                fuzz_consensus("nope", trials=1)
+
+    def test_algorithms_registry_runs(self, rng):
+        # The ALGORITHMS thunks stay executable for legacy callers.
+        inputs = rng.normal(size=(4, 2))
+        outcome = ALGORITHMS["algo"](inputs, 1, None, 0)
+        assert outcome.ok
+
+    def test_delegates_to_dst_explore(self):
+        # Same (algorithm, trials, seed) must sample the same scenarios
+        # the dst explorer sees — the shim adds no RNG drift.
+        from repro.dst import explore
+
+        shim = fuzz_consensus("algo", trials=6, seed=42)
+        direct = explore("algo", trials=6, seed=42)
+        assert len(shim) == len(direct)
+        for old, new in zip(shim, direct):
+            assert (old.seed, old.n, old.d, old.f) == (
+                new.scenario.seed, new.scenario.n, new.scenario.d, new.scenario.f
+            )
 
 
 class TestSoak:

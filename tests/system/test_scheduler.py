@@ -183,3 +183,107 @@ class TestAsyncScheduler:
         pol = FifoPolicy()
         link = pol.choose(net.pending_links(), net, np.random.default_rng(0))
         assert link == (0, 1)
+
+
+class TestAsyncSchedulerEdgeCases:
+    """Corner cases surfaced while building the DST subsystem."""
+
+    def test_pending_messages_after_all_decide(self):
+        # Counter processes decide after n - f tokens; with f=1 the last
+        # token is still in flight when everyone has decided.  The run
+        # must stop cleanly and account for the undelivered backlog.
+        procs = [Counter() for _ in range(4)]
+        res = AsyncScheduler(procs, f=1, rng=np.random.default_rng(2)).run()
+        assert res.completed
+        undelivered = res.metrics.counter("sched.async.undelivered").value
+        assert undelivered > 0
+
+    def test_delivery_into_decided_process_is_harmless(self):
+        # With early stop disabled the scheduler drains the queue into
+        # processes that already decided; decisions must not change.
+        procs = [Counter() for _ in range(4)]
+        res = AsyncScheduler(
+            procs, f=1, rng=np.random.default_rng(2),
+            stop_when_correct_decided=False,
+        ).run()
+        assert res.completed
+        assert res.metrics.counter("sched.async.undelivered").value == 0
+        assert set(res.decisions) == {0, 1, 2, 3}
+
+    def test_self_addressed_message_delivered(self):
+        class SelfPing(AsyncProcess):
+            def on_start(self, ctx):
+                ctx.send(ctx.pid, "self", "hi")
+
+            def on_message(self, ctx, src, tag, payload):
+                if not ctx.decided:
+                    ctx.decide((src, payload))
+
+        res = AsyncScheduler([SelfPing() for _ in range(3)], f=0).run()
+        assert res.completed
+        assert res.decisions == {p: (p, "hi") for p in range(3)}
+
+    def test_self_addressed_message_sync(self):
+        class SelfEcho(SyncProcess):
+            def on_round(self, ctx, r, inbox):
+                if r == 0:
+                    ctx.send(ctx.pid, "self", ctx.pid * 10, round=0)
+                elif r == 1:
+                    [(src, payload)] = [
+                        (s, p) for s, entries in inbox.items()
+                        for _, p in entries
+                    ]
+                    ctx.decide((src, payload))
+
+        res = SynchronousScheduler([SelfEcho() for _ in range(3)], f=0).run()
+        assert res.completed
+        assert res.decisions == {p: (p, p * 10) for p in range(3)}
+
+    def test_reordering_across_broadcast_instances(self):
+        # Two back-to-back broadcast instances per process, delivered by
+        # an adversarial newest-first policy that drags instance-1
+        # traffic ahead of instance-0.  Per-link FIFO still holds (the
+        # network pops each link oldest-first), and the protocol outcome
+        # must not depend on the cross-instance interleaving.
+        from repro.system.scheduler import DeliveryPolicy
+
+        class NewestFirst(DeliveryPolicy):
+            def choose(self, links, network, rng):
+                return max(links, key=lambda lk: network.peek(lk).seq)
+
+        class TwoInstances(AsyncProcess):
+            def on_start(self, ctx):
+                self.got = {0: set(), 1: set()}
+                ctx.broadcast("inst0", ctx.pid)
+                ctx.broadcast("inst1", ctx.pid)
+
+            def on_message(self, ctx, src, tag, payload):
+                inst = 0 if tag == "inst0" else 1
+                self.got[inst].add(payload)
+                if (
+                    not ctx.decided
+                    and len(self.got[0]) == ctx.n
+                    and len(self.got[1]) == ctx.n
+                ):
+                    ctx.decide((tuple(sorted(self.got[0])),
+                                tuple(sorted(self.got[1]))))
+
+        res = AsyncScheduler(
+            [TwoInstances() for _ in range(4)], f=0, policy=NewestFirst()
+        ).run()
+        assert res.completed
+        expected = ((0, 1, 2, 3), (0, 1, 2, 3))
+        assert all(v == expected for v in res.decisions.values())
+
+    def test_per_link_fifo_survives_adversarial_link_choice(self):
+        # Within one link, seq order is a network guarantee the policy
+        # cannot subvert — whichever link the policy picks, pop() hands
+        # out that link's oldest message.
+        from repro.system.network import Network
+        from repro.system.messages import Message
+
+        net = Network(2)
+        net.submit(Message(0, 1, "t", "first", seq=1))
+        net.submit(Message(0, 1, "t", "second", seq=2))
+        assert net.pop((0, 1)).payload == "first"
+        assert net.pop((0, 1)).payload == "second"

@@ -51,6 +51,70 @@ class TestCLI:
             build_parser().parse_args(["fuzz", "--algorithm", "bogus"])
 
 
+class TestDstLoop:
+    """The fuzz -> shrink -> replay loop exposed by the CLI."""
+
+    def find_token(self, capsys) -> str:
+        code = main(["fuzz", "--algorithm", "algo", "--trials", "1",
+                     "--seed", "3", "--inject", "split-brain"])
+        assert code == 1  # violations found -> nonzero, CI-friendly
+        out = capsys.readouterr().out
+        assert "1 invariant violations" in out
+        line = next(l for l in out.splitlines() if "replay --token" in l)
+        return line.split("--token", 1)[1].strip()
+
+    def test_fuzz_prints_replayable_token(self, capsys):
+        token = self.find_token(capsys)
+        assert token.startswith("dst1-")
+
+    def test_replay_token_reproduces_violation(self, capsys):
+        token = self.find_token(capsys)
+        assert main(["replay", "--token", token]) == 1
+        out = capsys.readouterr().out
+        assert "violated agreement" in out
+        assert "forensics:" in out
+
+    def test_shrink_token_and_save_seed(self, tmp_path, capsys):
+        token = self.find_token(capsys)
+        seed_file = tmp_path / "seed.json"
+        assert main(["shrink", "--token", token, "--out", str(seed_file)]) == 0
+        out = capsys.readouterr().out
+        assert "shrunk:" in out and seed_file.exists()
+        # The saved seed replays with its recorded expectation.
+        assert main(["replay", "--seed-file", str(seed_file)]) == 0
+        assert "expectation holds" in capsys.readouterr().out
+
+    def test_replay_writes_trace(self, tmp_path, capsys):
+        from repro.obs import read_jsonl
+
+        token = self.find_token(capsys)
+        trace = tmp_path / "replay.jsonl"
+        main(["replay", "--token", token, "--trace", str(trace)])
+        assert read_jsonl(trace)
+
+    def test_replay_clean_corpus_seed_exits_zero(self, capsys):
+        from pathlib import Path
+
+        seed = Path(__file__).parent / "corpus" / "exact-boundary-equivocate.json"
+        assert main(["replay", "--seed-file", str(seed)]) == 0
+        assert "expectation holds" in capsys.readouterr().out
+
+    def test_token_and_seed_file_mutually_exclusive(self, capsys):
+        assert main(["replay"]) == 2
+        assert "exactly one of" in capsys.readouterr().err
+
+    def test_bad_token_clean_error(self, capsys):
+        assert main(["replay", "--token", "dst1-garbage!"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_shrink_clean_scenario_clean_error(self, capsys):
+        from repro.dst import Scenario, encode_token
+
+        token = encode_token(Scenario(algorithm="algo", n=4, d=2, f=1, seed=11))
+        assert main(["shrink", "--token", token]) == 2
+        assert "nothing to shrink" in capsys.readouterr().err
+
+
 class TestArgumentValidation:
     """Inconsistent sizes exit with a one-line error, not a traceback."""
 
