@@ -11,7 +11,6 @@ decisions always lie inside the agreed polytope.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.convex_consensus import (
     ConvexConsensusProcess,

@@ -15,7 +15,6 @@ Together they bracket the 3f threshold from both sides.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core import run_algo
 from repro.core.lemma10 import NaiveAveragingProcess, lemma10_demo, run_ring

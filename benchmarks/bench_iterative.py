@@ -16,8 +16,6 @@ across topologies and fault patterns and makes three things visible:
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
 from repro.core import run_iterative
 from repro.system.adversary import Adversary, EquivocateStrategy, SilentStrategy

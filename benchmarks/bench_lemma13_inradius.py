@@ -12,7 +12,6 @@ end-to-end validation of the cutting-plane solver.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.analysis.workloads import simplex_inputs
 from repro.geometry.minimax import delta_star

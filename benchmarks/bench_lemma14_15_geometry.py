@@ -15,7 +15,6 @@ Lemma 15 bound from below as the sphere workload shows).
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.analysis.workloads import simplex_inputs
 from repro.geometry.norms import max_edge_length, min_edge_length

@@ -16,11 +16,10 @@ achieved δ, across schedulers (random / starvation) and adversaries.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core import run_averaging
 from repro.core.averaging import rounds_for_epsilon
-from repro.system.adversary import Adversary, MutateStrategy, SilentStrategy
+from repro.system.adversary import Adversary, SilentStrategy
 from repro.system.scheduler import DelayPolicy
 
 from ._util import OBS_HEADERS, obs_columns, report, rng_for

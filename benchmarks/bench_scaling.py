@@ -12,8 +12,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
-import pytest
 
 from repro.geometry.distance import nearest_point_l2
 from repro.geometry.intersections import f_subsets, gamma_point

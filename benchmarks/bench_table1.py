@@ -16,7 +16,6 @@ values — that is its whole point).
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.analysis.metrics import measure_delta_star, summarize_trials
 from repro.analysis.workloads import make_workload

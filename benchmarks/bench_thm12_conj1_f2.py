@@ -15,12 +15,10 @@ Measured: bound compliance and the Lemma 16 chain δ*(S_n) <= δ*(S_{n-1})
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.analysis.workloads import make_workload
 from repro.core.bounds import conjecture1_bound, theorem12_bound
 from repro.geometry.minimax import delta_star
-from repro.geometry.norms import max_edge_length
 
 from ._util import report, rng_for
 

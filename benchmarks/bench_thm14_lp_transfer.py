@@ -14,7 +14,6 @@ from __future__ import annotations
 import math
 
 import numpy as np
-import pytest
 
 from repro.analysis.workloads import make_workload
 from repro.core.bounds import kappa, theorem14_bound

@@ -13,7 +13,6 @@ recovery one process above the bound.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.lower_bounds import theorem3_inputs, theorem3_verdict
 from repro.geometry.intersections import psi_k, psi_k_point

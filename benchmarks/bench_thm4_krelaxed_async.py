@@ -11,9 +11,8 @@ Measured: the *minimum* achievable L_inf separation between Ψ_1 and Ψ_2
 
 from __future__ import annotations
 
-import pytest
 
-from repro.core.lower_bounds import theorem4_inputs, theorem4_verdict
+from repro.core.lower_bounds import theorem4_verdict
 
 from ._util import report
 

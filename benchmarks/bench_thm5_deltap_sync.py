@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import math
 
-import pytest
 
 from repro.core.lower_bounds import theorem5_inputs, theorem5_verdict
 from repro.geometry.intersections import gamma_delta_p

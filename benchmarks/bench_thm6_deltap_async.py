@@ -11,7 +11,6 @@ the x threshold.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.lower_bounds import theorem6_verdict
 

@@ -17,7 +17,6 @@ separates the two bounds (min-edge ≪ max-edge).
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.analysis.workloads import degenerate_inputs, make_workload
 from repro.core.bounds import theorem9_bound

@@ -18,8 +18,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
-import pytest
 
 from repro.geometry.tverberg import (
     has_tverberg_partition,

@@ -11,7 +11,6 @@ Run:  python examples/impossibility_tour.py
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 

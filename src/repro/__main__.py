@@ -10,6 +10,8 @@ Commands
 ``shrink``    minimise a violating scenario while the violation persists
 ``replay``    re-execute a replay token / seed file under full tracing
 ``trace``     run any other command under the tracer, dump JSONL + summary
+``lint``      protocol-aware static analysis (determinism/float-safety/
+              resilience-bounds/handler-hygiene rule families)
 
 ``fuzz``/``shrink``/``replay`` are the deterministic simulation-testing
 loop (see ``docs/fuzzing.md``): every violation ``fuzz`` prints comes
@@ -30,6 +32,8 @@ Examples::
     python -m repro shrink --token dst1-...
     python -m repro replay --token dst1-... --trace failure.jsonl
     python -m repro trace --out run.jsonl demo --d 3
+    python -m repro lint src/repro benchmarks examples
+    python -m repro lint --list-rules
 """
 
 from __future__ import annotations
@@ -298,6 +302,12 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 1 if not result.ok else 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import cli as lint_cli
+
+    return lint_cli.run(args)
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .analysis.profiling import render_flame, render_summary
     from .obs import (
@@ -421,6 +431,15 @@ def build_parser() -> argparse.ArgumentParser:
                            help="dump the forensic span/metrics trail as "
                                 "JSONL to this path")
             p.set_defaults(func=_cmd_replay)
+
+    p = sub.add_parser(
+        "lint", parents=[common],
+        help="protocol-aware static analysis of the source tree",
+    )
+    from .lint import cli as lint_cli
+
+    lint_cli.add_arguments(p)
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser(
         "trace", parents=[common],

@@ -47,6 +47,7 @@ import numpy as np
 
 from ..geometry.intersections import gamma_delta_p_point, gamma_point
 from ..geometry.minimax import delta_star
+from ..geometry.tolerance import near_zero
 from ..system.broadcast.bracha import BrachaState
 from ..system.process import AsyncProcess, Context
 
@@ -83,7 +84,7 @@ def rounds_for_epsilon(initial_range: float, n: int, f: int, epsilon: float) -> 
     if initial_range <= epsilon:
         return 2
     rho = contraction_factor(n, f)
-    if rho == 0.0:
+    if near_zero(rho):
         return 2
     needed = math.ceil(math.log(initial_range / epsilon) / math.log(1.0 / rho))
     return 1 + max(1, needed)
@@ -165,7 +166,13 @@ class VerifiedAveragingProcess(AsyncProcess):
             self._rb[key] = BrachaState(self.n, self.f, sender, self.pid)
         return self._rb[key]
 
-    def _rb_send(self, ctx: Context, sender: int, round: int, msgs) -> None:
+    def _rb_send(
+        self,
+        ctx: Context,
+        sender: int,
+        round: int,
+        msgs: list[tuple[int, tuple[str, Any]]],
+    ) -> None:
         tag = rb_tag(sender, round)
         for dst, payload in msgs:
             ctx.send(dst, tag, payload)

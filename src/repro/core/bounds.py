@@ -32,13 +32,15 @@ edges between non-faulty inputs:
 from __future__ import annotations
 
 import math
-from typing import Union
+from typing import Any, Union
 
 import numpy as np
 
 from ..geometry.norms import max_edge_length, min_edge_length, validate_p
 
 __all__ = [
+    "tverberg_min_n",
+    "trim_min_size",
     "exact_bvc_min_n",
     "approx_bvc_min_n",
     "k_relaxed_exact_min_n",
@@ -70,6 +72,30 @@ def _check_df(d: int, f: int) -> None:
 
 
 # ---------------------------------------------------------------------------
+# building-block predicates shared across core modules
+# ---------------------------------------------------------------------------
+#
+# These are the *only* places the resilience arithmetic is written out.
+# Algorithm modules must gate (and phrase error messages) through them —
+# enforced statically by the RES001 lint rule (`python -m repro lint`).
+
+def tverberg_min_n(d: int, f: int) -> int:
+    """``(d+1)f + 1`` — smallest multiset size with ``Γ(S)`` guaranteed
+    nonempty by Tverberg's theorem (§8), i.e. the liveness floor of the
+    exact-BVC/convex-consensus decision step."""
+    _check_df(d, f)
+    return (d + 1) * f + 1
+
+
+def trim_min_size(f: int) -> int:
+    """``2f + 1`` — smallest multiset that survives trimming ``f`` values
+    from each end (the scalar-consensus decision rule)."""
+    if f < 0:
+        raise ValueError(f"f must be >= 0, got {f}")
+    return 2 * f + 1
+
+
+# ---------------------------------------------------------------------------
 # process-count bounds (Theorems 1-6)
 # ---------------------------------------------------------------------------
 
@@ -78,7 +104,7 @@ def exact_bvc_min_n(d: int, f: int) -> int:
     _check_df(d, f)
     if f == 0:
         return 2
-    return max(3 * f + 1, (d + 1) * f + 1)
+    return max(3 * f + 1, tverberg_min_n(d, f))
 
 
 def approx_bvc_min_n(d: int, f: int) -> int:
@@ -100,7 +126,7 @@ def k_relaxed_exact_min_n(d: int, f: int, k: int) -> int:
         return 3 * f + 1
     # 2 <= k <= d: relaxation does not help (Theorem 3); k = d is the
     # original problem (Theorem 1).
-    return max(3 * f + 1, (d + 1) * f + 1)
+    return max(3 * f + 1, tverberg_min_n(d, f))
 
 
 def k_relaxed_approx_min_n(d: int, f: int, k: int) -> int:
@@ -128,7 +154,7 @@ def delta_p_exact_min_n(d: int, f: int, delta: float, p: PNorm = 2) -> int:
         raise ValueError("delta must be >= 0")
     if f == 0 or math.isinf(delta):
         return 2
-    return max(3 * f + 1, (d + 1) * f + 1)
+    return max(3 * f + 1, tverberg_min_n(d, f))
 
 
 def delta_p_approx_min_n(d: int, f: int, delta: float, p: PNorm = 2) -> int:
@@ -153,7 +179,7 @@ def input_dependent_min_n(f: int) -> int:
     return 3 * f + 1
 
 
-def is_solvable(problem: str, n: int, d: int, f: int, **kwargs) -> bool:
+def is_solvable(problem: str, n: int, d: int, f: int, **kwargs: Any) -> bool:
     """Uniform feasibility predicate.
 
     ``problem`` is one of ``"exact"``, ``"approx"``, ``"k-exact"``,

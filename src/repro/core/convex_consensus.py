@@ -31,12 +31,12 @@ bound the paper quotes).
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
 from ..geometry.polytope import Polytope, gamma_polytope
 from ..system.process import Context
+from .bounds import tverberg_min_n
 from .broadcast_all import BroadcastAllProcess
 
 __all__ = ["ConvexConsensusProcess", "convex_consensus_decision",
@@ -56,7 +56,7 @@ def convex_consensus_decision(S: np.ndarray, f: int) -> Polytope:
         n, d = np.atleast_2d(S).shape
         raise ValueError(
             f"Γ(S) is empty for n={n}, d={d}, f={f}; convex hull consensus "
-            f"requires n >= (d+1)f+1 = {(d + 1) * f + 1}"
+            f"requires n >= (d+1)f+1 = {tverberg_min_n(d, f)}"
         )
     return poly
 

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..geometry.intersections import gamma_point
 from ..system.process import Context
+from .bounds import tverberg_min_n
 from .broadcast_all import BroadcastAllProcess
 
 __all__ = ["ExactBVCProcess", "exact_bvc_decision"]
@@ -42,7 +43,7 @@ def exact_bvc_decision(S: np.ndarray, f: int) -> np.ndarray:
         n, d = np.atleast_2d(S).shape
         raise ValueError(
             f"Γ(S) is empty for n={n}, d={d}, f={f}; exact BVC requires "
-            f"n >= (d+1)f+1 = {(d + 1) * f + 1} (Theorem 1)"
+            f"n >= (d+1)f+1 = {tverberg_min_n(d, f)} (Theorem 1)"
         )
     return point
 

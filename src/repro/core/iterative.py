@@ -34,7 +34,6 @@ the present paper; EXPERIMENTS.md marks it as an extension.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Union
+from typing import Mapping, Union
 
 import numpy as np
 
@@ -85,7 +85,7 @@ class ProblemSpec:
     d: int
     f: int
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.d < 1:
             raise ValueError(f"dimension must be >= 1, got {self.d}")
         if self.f < 0:
@@ -154,7 +154,9 @@ class ProblemSpec:
 class ExactBVC(ProblemSpec):
     """Exact Byzantine vector consensus (§4): agreement + hull validity."""
 
-    def _decision_violation(self, decision, honest_inputs):
+    def _decision_violation(
+        self, decision: np.ndarray, honest_inputs: np.ndarray
+    ) -> float:
         return distance_to_hull(honest_inputs, decision, math.inf).distance
 
 
@@ -164,16 +166,20 @@ class ApproximateBVC(ProblemSpec):
 
     epsilon: float = 1e-3
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         super().__post_init__()
         if self.epsilon <= 0:
             raise ValueError("epsilon must be > 0")
 
-    def _agreement_ok(self, decisions):
+    def _agreement_ok(
+        self, decisions: Mapping[int, np.ndarray]
+    ) -> tuple[bool, float]:
         diam = agreement_diameter(decisions)
         return diam <= self.epsilon + 1e-12, diam
 
-    def _decision_violation(self, decision, honest_inputs):
+    def _decision_violation(
+        self, decision: np.ndarray, honest_inputs: np.ndarray
+    ) -> float:
         return distance_to_hull(honest_inputs, decision, math.inf).distance
 
 
@@ -183,12 +189,14 @@ class KRelaxedExactBVC(ProblemSpec):
 
     k: int = 1
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         super().__post_init__()
         if not 1 <= self.k <= self.d:
             raise ValueError(f"need 1 <= k <= d={self.d}, got k={self.k}")
 
-    def _decision_violation(self, decision, honest_inputs):
+    def _decision_violation(
+        self, decision: np.ndarray, honest_inputs: np.ndarray
+    ) -> float:
         return KRelaxedHull(honest_inputs, self.k).violation(decision, math.inf)
 
 
@@ -198,12 +206,14 @@ class KRelaxedApproximateBVC(KRelaxedExactBVC):
 
     epsilon: float = 1e-3
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         super().__post_init__()
         if self.epsilon <= 0:
             raise ValueError("epsilon must be > 0")
 
-    def _agreement_ok(self, decisions):
+    def _agreement_ok(
+        self, decisions: Mapping[int, np.ndarray]
+    ) -> tuple[bool, float]:
         diam = agreement_diameter(decisions)
         return diam <= self.epsilon + 1e-12, diam
 
@@ -220,13 +230,15 @@ class DeltaPExactBVC(ProblemSpec):
     delta: float = 0.0
     p: float = 2.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         super().__post_init__()
         if self.delta < 0:
             raise ValueError("delta must be >= 0")
         validate_p(self.p)
 
-    def _decision_violation(self, decision, honest_inputs):
+    def _decision_violation(
+        self, decision: np.ndarray, honest_inputs: np.ndarray
+    ) -> float:
         return DeltaPHull(honest_inputs, self.delta, self.p).violation(decision)
 
 
@@ -236,11 +248,13 @@ class DeltaPApproximateBVC(DeltaPExactBVC):
 
     epsilon: float = 1e-3
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         super().__post_init__()
         if self.epsilon <= 0:
             raise ValueError("epsilon must be > 0")
 
-    def _agreement_ok(self, decisions):
+    def _agreement_ok(
+        self, decisions: Mapping[int, np.ndarray]
+    ) -> tuple[bool, float]:
         diam = agreement_diameter(decisions)
         return diam <= self.epsilon + 1e-12, diam

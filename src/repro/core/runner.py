@@ -11,9 +11,8 @@ run statistics.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Callable, Optional, Union
 
 import numpy as np
 
@@ -41,10 +40,19 @@ from .problems import (
 )
 from .scalar import ScalarConsensusProcess
 
+if TYPE_CHECKING:
+    from ..obs.metrics import MetricsRegistry
+    from ..system.topology import Topology
+
 __all__ = ["ConsensusOutcome", "run_exact_bvc", "run_algo", "run_k_relaxed",
            "run_scalar", "run_averaging", "run_iterative"]
 
 PNorm = Union[float, int]
+
+#: builder invoked per pid: (n, f, pid, input, transport, scheme) -> process
+ProcessFactory = Callable[
+    [int, int, int, np.ndarray, str, Optional[SignatureScheme]], SyncProcess
+]
 
 
 @dataclass
@@ -63,13 +71,15 @@ class ConsensusOutcome:
         return self.report.ok
 
     @property
-    def metrics(self):
+    def metrics(self) -> "MetricsRegistry":
         """The run's :class:`~repro.obs.metrics.MetricsRegistry`
         (shortcut for ``result.metrics``)."""
         return self.result.metrics
 
 
-def _prep(inputs: np.ndarray, adversary: Optional[Adversary]):
+def _prep(
+    inputs: np.ndarray, adversary: Optional[Adversary]
+) -> tuple[np.ndarray, Adversary, np.ndarray]:
     inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
     adversary = adversary or Adversary.none()
     n = inputs.shape[0]
@@ -80,7 +90,7 @@ def _prep(inputs: np.ndarray, adversary: Optional[Adversary]):
 
 
 def _run_sync(
-    make_process,
+    make_process: ProcessFactory,
     inputs: np.ndarray,
     f: int,
     adversary: Optional[Adversary],
@@ -131,7 +141,10 @@ def run_exact_bvc(
     ``n >= max(3f+1, (d+1)f+1)``)."""
     d = np.atleast_2d(inputs).shape[1]
 
-    def make(n, f_, pid, v, transport_, scheme):
+    def make(
+        n: int, f_: int, pid: int, v: np.ndarray,
+        transport_: str, scheme: Optional[SignatureScheme],
+    ) -> SyncProcess:
         return ExactBVCProcess(n, f_, pid, v, transport=transport_, scheme=scheme)
 
     return _run_sync(make, inputs, f, adversary, ExactBVC(d, f),
@@ -158,7 +171,10 @@ def run_algo(
     inputs2, adversary2, honest = _prep(inputs, adversary)
     d = inputs2.shape[1]
 
-    def make(n, f_, pid, v, transport_, scheme):
+    def make(
+        n: int, f_: int, pid: int, v: np.ndarray,
+        transport_: str, scheme: Optional[SignatureScheme],
+    ) -> SyncProcess:
         return AlgoProcess(
             n, f_, pid, v, p=p, transport=transport_, scheme=scheme
         )
@@ -196,7 +212,10 @@ def run_k_relaxed(
     k >= 2: ``n >= (d+1)f+1``, Theorem 3)."""
     d = np.atleast_2d(inputs).shape[1]
 
-    def make(n, f_, pid, v, transport_, scheme):
+    def make(
+        n: int, f_: int, pid: int, v: np.ndarray,
+        transport_: str, scheme: Optional[SignatureScheme],
+    ) -> SyncProcess:
         return KRelaxedProcess(
             n, f_, pid, v, k=k, transport=transport_, scheme=scheme
         )
@@ -215,7 +234,10 @@ def run_scalar(
 ) -> ConsensusOutcome:
     """Synchronous exact scalar consensus (d = 1; ``n >= 3f+1``)."""
 
-    def make(n, f_, pid, v, transport_, scheme):
+    def make(
+        n: int, f_: int, pid: int, v: np.ndarray,
+        transport_: str, scheme: Optional[SignatureScheme],
+    ) -> SyncProcess:
         return ScalarConsensusProcess(
             n, f_, pid, v, transport=transport_, scheme=scheme
         )
@@ -229,7 +251,7 @@ def run_iterative(
     f: int,
     adversary: Optional[Adversary] = None,
     *,
-    topology=None,
+    topology: Optional["Topology"] = None,
     num_rounds: int = 30,
     alpha: float = 0.5,
     epsilon: float = 1e-2,

@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..system.process import Context
+from .bounds import trim_min_size
 from .broadcast_all import BroadcastAllProcess
 
 __all__ = ["scalar_decision", "trimmed_multiset", "ScalarConsensusProcess"]
@@ -32,8 +33,11 @@ def trimmed_multiset(values: np.ndarray, f: int) -> np.ndarray:
     """Sort and discard the ``f`` smallest and ``f`` largest entries."""
     vals = np.sort(np.asarray(values, dtype=float).ravel())
     n = vals.size
-    if n <= 2 * f:
-        raise ValueError(f"cannot trim 2f={2 * f} from {n} values")
+    if n < trim_min_size(f):
+        raise ValueError(
+            f"cannot trim f={f} from each end of {n} values "
+            f"(need >= {trim_min_size(f)})"
+        )
     return vals[f : n - f]
 
 

@@ -21,7 +21,7 @@ algorithms (correctly) refuse to produce counterexamples.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Mapping, Optional
+from typing import Callable, Mapping, Optional
 
 import numpy as np
 

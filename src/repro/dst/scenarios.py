@@ -24,7 +24,7 @@ artefact of breaking the model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
 import numpy as np

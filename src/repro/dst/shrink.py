@@ -21,7 +21,7 @@ from dataclasses import dataclass, replace
 from typing import Iterator, Mapping, Optional
 
 from .explore import CheckerFn, run_scenario
-from .scenarios import FaultClause, Scenario, ScheduleWindow, min_system_size
+from .scenarios import Scenario, min_system_size
 
 __all__ = ["ShrinkResult", "scenario_size", "shrink"]
 

@@ -60,6 +60,7 @@ from .simplex import (
     vertex_facet_distances,
 )
 from .simplex_proj import project_rows_to_simplex, project_to_simplex
+from .tolerance import DELTA_ATOL, close, exactly_zero, near_zero, norm_order_is
 from .tverberg import (
     RadonPartition,
     TverbergPartition,
@@ -73,6 +74,7 @@ from .tverberg import (
 
 __all__ = [
     "Cylinder",
+    "DELTA_ATOL",
     "DeltaPHull",
     "DeltaStarResult",
     "Halfspace",
@@ -84,12 +86,14 @@ __all__ = [
     "TverbergPartition",
     "affine_basis",
     "affine_dimension",
+    "close",
     "convex_combination_weights",
     "delta_star",
     "distance_l1",
     "distance_linf",
     "distance_to_hull",
     "enumerate_coordinate_subsets",
+    "exactly_zero",
     "f_subsets",
     "facet_inradius",
     "facet_points",
@@ -117,8 +121,10 @@ __all__ = [
     "max_edge_length",
     "max_subset_distance",
     "min_edge_length",
+    "near_zero",
     "nearest_point_l2",
     "norm_equivalence_bounds",
+    "norm_order_is",
     "pairwise_lp_distances",
     "partition_intersection_nonempty",
     "project",

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 from scipy.optimize import linprog, minimize
@@ -33,6 +33,7 @@ from scipy.optimize import linprog, minimize
 from ..obs import metrics as _obs
 from .norms import lp_norm, validate_p
 from .simplex_proj import project_to_simplex
+from .tolerance import norm_order_is
 
 __all__ = [
     "HullProjection",
@@ -121,7 +122,9 @@ def _polish_active_set(pts: np.ndarray, x: np.ndarray, lam: np.ndarray) -> np.nd
     return full if new <= old + 1e-15 else lam
 
 
-def _wolfe_min_norm(P: np.ndarray, tol: float, max_iter: int = 200):
+def _wolfe_min_norm(
+    P: np.ndarray, tol: float, max_iter: int = 200
+) -> Optional[tuple[np.ndarray, np.ndarray]]:
     """Wolfe's minimum-norm-point algorithm over ``conv(rows of P)``.
 
     Returns ``(y, lam)`` with ``y = P.T @ lam`` the (near-)exact minimum
@@ -399,9 +402,9 @@ def distance_to_hull(
     xv = np.asarray(x, dtype=float).ravel()
     if xv.size != pts.shape[1]:
         raise ValueError(f"point dimension {xv.size} != hull dimension {pts.shape[1]}")
-    if p == 2.0:
+    if norm_order_is(p, 2.0):
         return nearest_point_l2(pts, xv)
-    if p == 1.0 or math.isinf(p):
+    if norm_order_is(p, 1.0) or math.isinf(p):
         return _distance_lp_linprog(pts, xv, p)
     return _distance_lp_general(pts, xv, p)
 

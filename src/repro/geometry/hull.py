@@ -14,7 +14,6 @@ facets) are computed lazily and cached.
 
 from __future__ import annotations
 
-import math
 from functools import cached_property
 from typing import Iterable, Union
 
@@ -25,6 +24,7 @@ from scipy.spatial import QhullError
 from ..obs import metrics as _obs
 from .distance import HullProjection, distance_linf, distance_to_hull, in_hull
 from .norms import max_edge_length, min_edge_length
+from .tolerance import near_zero
 
 __all__ = ["Hull", "affine_dimension", "affine_basis"]
 
@@ -48,7 +48,7 @@ def affine_basis(points: np.ndarray, tol: float = _RANK_TOL) -> tuple[np.ndarray
         return origin, np.zeros((0, pts.shape[1]))
     # SVD-based rank with a scale-aware tolerance.
     u, s, vt = np.linalg.svd(diffs, full_matrices=False)
-    if s.size == 0 or s[0] == 0.0:
+    if s.size == 0 or near_zero(s[0]):
         return origin, np.zeros((0, pts.shape[1]))
     rank = int(np.sum(s > tol * max(1.0, s[0])))
     return origin, vt[:rank]
@@ -229,5 +229,5 @@ class Hull:
             self.contains(v) for v in other.vertices
         )
 
-    def __hash__(self):  # pragma: no cover - hulls are not hashable
+    def __hash__(self) -> int:  # pragma: no cover - hulls are not hashable
         raise TypeError("Hull objects are mutable-value-like and unhashable")

@@ -44,6 +44,7 @@ from scipy.optimize import linprog
 
 from .norms import validate_p
 from .projection import enumerate_coordinate_subsets, project_multiset
+from .tolerance import near_zero, norm_order_is
 
 __all__ = [
     "HullSystem",
@@ -113,11 +114,12 @@ class _HullSystem:
         if delta < 0:
             raise ValueError("delta must be >= 0")
         p = validate_p(p)
-        if delta > 0 and not (p == 1.0 or math.isinf(p)):
+        fattened = not near_zero(delta)
+        if fattened and not (norm_order_is(p, 1.0) or math.isinf(p)):
             raise ValueError("linear encoding needs p in {1, inf} when delta > 0")
 
         lam_off = self._alloc(m)
-        use_l1_slack = delta > 0 and p == 1.0
+        use_l1_slack = fattened and norm_order_is(p, 1.0)
         s_off = self._alloc(k) if use_l1_slack else None
 
         n_now = self.d + self.n_extra
@@ -135,7 +137,7 @@ class _HullSystem:
         row[lam_off : lam_off + m] = 1.0
         self.rows_eq.append((row, 1.0))
 
-        if delta == 0.0:
+        if not fattened:
             # x[coords] - pts.T @ lam == 0
             for j in range(k):
                 row = np.zeros(n_now)
@@ -172,7 +174,9 @@ class _HullSystem:
     def _assemble(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, list]:
         n = self.d + self.n_extra
 
-        def padded(rows: list[tuple[np.ndarray, float]]):
+        def padded(
+            rows: list[tuple[np.ndarray, float]],
+        ) -> tuple[np.ndarray, np.ndarray]:
             if not rows:
                 return np.zeros((0, n)), np.zeros(0)
             A = np.zeros((len(rows), n))
@@ -384,9 +388,9 @@ def gamma_delta_p(S: np.ndarray, f: int, delta: float, p: PNorm) -> bool:
     finite ``p`` fall back to the same minimax machinery.
     """
     p = validate_p(p)
-    if delta == 0.0:
+    if near_zero(delta):
         return gamma(S, f)
-    if p == 1.0 or math.isinf(p):
+    if norm_order_is(p, 1.0) or math.isinf(p):
         return gamma_delta_p_point(S, f, delta, p) is not None
     from .minimax import delta_star  # deferred: minimax imports this module
 
@@ -407,9 +411,9 @@ def gamma_delta_p_point(
     p = validate_p(p)
     if delta < 0:
         raise ValueError("delta must be >= 0")
-    if delta == 0.0:
+    if near_zero(delta):
         return gamma_point(S, f)
-    if p == 1.0 or math.isinf(p):
+    if norm_order_is(p, 1.0) or math.isinf(p):
         sys_ = _HullSystem(d)
         for T in f_subsets(n, f):
             sys_.add_hull_constraint(S[list(T)], delta=delta, p=p)

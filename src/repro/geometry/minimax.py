@@ -41,7 +41,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from typing import Sequence, Union
 
 import numpy as np
 from scipy.optimize import linprog
@@ -51,6 +51,7 @@ from ..obs.tracer import trace_span
 from .distance import distance_to_hull
 from .intersections import f_subsets, gamma_point
 from .norms import lp_norm, validate_p
+from .tolerance import norm_order_is
 
 __all__ = ["DeltaStarResult", "delta_star", "max_subset_distance"]
 
@@ -100,14 +101,14 @@ def max_subset_distance(
 
 def _lp_grad(r: np.ndarray, p: float) -> np.ndarray:
     """Gradient of ``||r||_p`` at ``r != 0`` (unit dual-norm vector)."""
-    if p == 2.0:
+    if norm_order_is(p, 2.0):
         return r / np.linalg.norm(r)
     if math.isinf(p):
         g = np.zeros_like(r)
         j = int(np.argmax(np.abs(r)))
         g[j] = np.sign(r[j])
         return g
-    if p == 1.0:
+    if norm_order_is(p, 1.0):
         return np.sign(r)
     nrm = float(lp_norm(r, p))
     return np.sign(r) * (np.abs(r) / nrm) ** (p - 1.0)
@@ -129,7 +130,7 @@ def _delta_star_exact_lp(
         lam_off = offset
         offset += m
         s_off = None
-        if p == 1.0:
+        if norm_order_is(p, 1.0):
             s_off = offset
             offset += d
         blocks.append((T, lam_off, s_off))
@@ -174,7 +175,7 @@ def _delta_star_exact_lp(
                 r2[s_off + j] = -1.0
                 A_ub_rows.append(r2)
                 b_ub.append(0.0)
-        if p == 1.0:
+        if norm_order_is(p, 1.0):
             row = np.zeros(n_var)
             row[s_off : s_off + d] = 1.0
             row[t_idx] = -1.0
@@ -400,7 +401,7 @@ def _delta_star_solve(
         dists = max_subset_distance(S, g0, subsets, p)
         return DeltaStarResult(0.0, g0, dists, subsets, 0.0, 0)
 
-    if p == 1.0 or math.isinf(p):
+    if norm_order_is(p, 1.0) or math.isinf(p):
         value, point = _delta_star_exact_lp(S, subsets, p)
         dists = max_subset_distance(S, point, subsets, p)
         return DeltaStarResult(value, point, dists, subsets, 0.0, 0)

@@ -29,6 +29,8 @@ from typing import Union
 
 import numpy as np
 
+from .tolerance import exactly_zero, norm_order_is
+
 __all__ = [
     "lp_norm",
     "lp_distance",
@@ -77,14 +79,16 @@ def lp_norm(x: np.ndarray, p: PNorm = 2, axis: int = -1) -> np.ndarray:
     x = np.asarray(x, dtype=float)
     if math.isinf(p):
         return np.max(np.abs(x), axis=axis)
-    if p == 1.0:
+    if norm_order_is(p, 1.0):
         return np.sum(np.abs(x), axis=axis)
-    if p == 2.0:
+    if norm_order_is(p, 2.0):
         return np.sqrt(np.sum(x * x, axis=axis))
     ax = np.abs(x)
     # Guard against overflow for large p by factoring out the max element.
+    # Exact-zero guard: scaling by a tiny non-zero max is correct, only a
+    # literal zero divides badly (see repro.geometry.tolerance.exactly_zero).
     m = np.max(ax, axis=axis, keepdims=True)
-    safe_m = np.where(m == 0.0, 1.0, m)
+    safe_m = np.where(exactly_zero(m), 1.0, m)
     scaled = ax / safe_m
     out = np.squeeze(m, axis=axis) * np.sum(scaled**p, axis=axis) ** (1.0 / p)
     return out

@@ -25,7 +25,6 @@ the *identical* object — the agreement property consensus needs.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -156,7 +155,7 @@ def convex_polygon_clip(subject: np.ndarray, clip: np.ndarray) -> np.ndarray:
         inp = output
         output = []
 
-        def side(p) -> float:
+        def side(p: np.ndarray) -> float:
             return edge[0] * (p[1] - a[1]) - edge[1] * (p[0] - a[0])
 
         k = len(inp)

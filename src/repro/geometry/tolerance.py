@@ -1,0 +1,86 @@
+"""Sanctioned float comparisons for the geometric/protocol layers.
+
+The float-safety lint rule (``FLT001``, see ``docs/static_analysis.md``)
+bans bare ``==`` / ``!=`` against float literals in ``geometry/`` and
+``core/``: LP solvers and cutting-plane loops hand back values *close
+to* special values, never guaranteed bitwise equal, so a bare
+``delta == 0.0`` silently flips an algorithm's branch for
+``delta = 1e-17``.  Every such comparison goes through one of the
+helpers here — each encodes a distinct, documented intent:
+
+* :func:`near_zero` / :func:`close` — tolerance-aware comparison of
+  *computed* quantities (relaxation radii, distances, residuals);
+* :func:`norm_order_is` — exact dispatch on a *canonicalised* norm
+  order.  ``validate_p`` returns exact floats (1.0, 2.0, ``inf``), so
+  branch selection on them is exact by construction; routing it through
+  this helper records that the exactness is intentional;
+* :func:`exactly_zero` — exact-zero guard where a tolerance would
+  *change the numerics* (e.g. protecting a division: scaling by a tiny
+  non-zero maximum is correct, substituting 1.0 for it is not).
+
+All helpers accept NumPy arrays and broadcast elementwise, so they can
+sit inside ``np.where(...)`` masks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "DELTA_ATOL",
+    "close",
+    "exactly_zero",
+    "near_zero",
+    "norm_order_is",
+]
+
+FloatLike = Union[float, int, np.ndarray]
+
+#: Absolute tolerance under which a computed relaxation radius/distance
+#: is treated as zero.  Far below any δ the algorithms distinguish
+#: (solver tolerances are ~1e-8) yet far above accumulated rounding.
+DELTA_ATOL = 1e-12
+
+
+def near_zero(x: FloatLike, tol: float = DELTA_ATOL) -> Union[bool, np.ndarray]:
+    """``|x| <= tol`` — the tolerance-aware replacement for ``x == 0.0``."""
+    return np.abs(x) <= tol
+
+
+def close(
+    a: FloatLike,
+    b: FloatLike,
+    rel: float = 1e-9,
+    atol: float = DELTA_ATOL,
+) -> Union[bool, np.ndarray]:
+    """``|a - b| <= atol + rel * max(|a|, |b|)`` — replacement for ``a == b``."""
+    return np.abs(np.asarray(a, dtype=float) - b) <= atol + rel * np.maximum(
+        np.abs(a), np.abs(b)
+    )
+
+
+def norm_order_is(p: FloatLike, value: float) -> bool:
+    """Exact dispatch on a canonicalised norm order.
+
+    ``p`` must have passed through
+    :func:`repro.geometry.norms.validate_p`, which returns exact floats —
+    so the equality below is exact by construction, not a float
+    comparison of computed quantities.  ``value`` may be ``math.inf``.
+    """
+    if math.isinf(value):
+        return bool(math.isinf(float(p)))
+    return float(p) == value  # repro: noqa[FLT001] — canonical sentinel
+
+
+def exactly_zero(x: FloatLike) -> Union[bool, np.ndarray]:
+    """Exact ``x == 0.0`` as a *division guard*, visibly intentional.
+
+    Use only where substituting a tolerance would change the numerics:
+    e.g. ``np.where(exactly_zero(m), 1.0, m)`` protects ``x / m``
+    against literal zero while still scaling by tiny non-zero ``m``
+    (replacing tiny ``m`` by 1.0 would underflow the rescaled sum).
+    """
+    return np.equal(x, 0.0)  # repro: noqa[FLT001] — documented exact guard

@@ -28,13 +28,14 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterator, Optional, Sequence, Union
+from typing import Any, Callable, Iterator, Optional, Sequence, Union
 
 import numpy as np
 
 from ..obs import metrics as _obs
 from .intersections import intersection_point
 from .relaxed import DeltaPHull, KRelaxedHull
+from .tolerance import near_zero, norm_order_is
 
 __all__ = [
     "RadonPartition",
@@ -170,9 +171,9 @@ def partition_intersection_nonempty(
     if hull_kind == "delta-p":
         if base is not None:
             return base  # H(Y_l) ⊆ H_{(δ,p)}(Y_l)
-        if delta == 0.0:
+        if near_zero(delta):
             return None
-        if p == 1.0 or math.isinf(float(p)):
+        if norm_order_is(p, 1.0) or math.isinf(float(p)):
             from .intersections import _HullSystem
 
             sys_ = _HullSystem(pts.shape[1])
@@ -189,7 +190,7 @@ def partition_intersection_nonempty(
 
 
 def tverberg_partition(
-    points: np.ndarray, r: int, hull_kind: str = "convex", **kwargs
+    points: np.ndarray, r: int, hull_kind: str = "convex", **kwargs: Any
 ) -> Optional[TverbergPartition]:
     """First Tverberg partition of ``points`` into ``r`` parts, or None.
 

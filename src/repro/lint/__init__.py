@@ -1,0 +1,61 @@
+"""Protocol-aware static analysis for the reproduction (``repro.lint``).
+
+The paper's guarantees are only as good as the invariants every module
+encodes: the resilience predicates (``n >= max((d+1)f+1, 3f+1)`` and
+friends) must come from one place (:mod:`repro.core.bounds`), the
+simulator must stay bit-for-bit deterministic so the DST replay corpus
+keeps reproducing, and geometric code must never compare floats with
+bare ``==``.  This package checks those properties *statically*, before
+the fuzzer has to find the drift dynamically.
+
+Rule families (see ``docs/static_analysis.md``):
+
+=========  ================================================================
+family     what it protects
+=========  ================================================================
+``DET``    replay determinism of ``core/``, ``system/``, ``dst/`` (and the
+           seeded-trajectory property of ``benchmarks/``/``examples/``)
+``FLT``    float comparisons in ``geometry/``/``core/`` go through the
+           tolerance helpers in :mod:`repro.geometry.tolerance`
+``RES``    resilience bounds in ``core/`` are expressed via
+           :mod:`repro.core.bounds` predicates, never re-derived inline
+``HYG``    message handlers neither mutate module state nor retain
+           references to in-flight payloads they also forward
+=========  ================================================================
+
+Findings are suppressible per line with ``# repro: noqa[RULE]`` (or a
+blanket ``# repro: noqa``); fixture/test files can opt into a scope with
+a file-level ``# repro: lint-as <path>`` directive.
+
+Entry points: ``python -m repro lint [paths...]`` or
+:func:`repro.lint.lint_paths`.
+"""
+
+from __future__ import annotations
+
+from .engine import (
+    FileContext,
+    Finding,
+    Rule,
+    all_rules,
+    get_rule,
+    lint_file,
+    lint_paths,
+    lint_source,
+    register,
+)
+
+# Importing the rule modules registers every shipped rule.
+from . import rules as _rules  # noqa: E402,F401  (import-for-side-effect)
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register",
+]

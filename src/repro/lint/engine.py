@@ -1,0 +1,286 @@
+"""Rule registry, file walking, suppression — the linter's machinery.
+
+The engine is deliberately small: a :class:`Rule` is an object with an
+``id``, a ``severity``, a tuple of logical-path ``scopes`` it applies to,
+and a ``check(ctx)`` generator over :class:`Finding`.  Everything
+protocol-specific lives in :mod:`repro.lint.rules`.
+
+Scoping
+-------
+Rules are *path-aware*: the determinism family only fires inside the
+modules the DST replay corpus must reproduce (``core/``, ``system/``,
+``dst/``) plus the seeded-trajectory trees (``benchmarks/``,
+``examples/``), the float-safety family inside ``geometry/`` and
+``core/``, and so on.  A file's *logical path* is its path relative to
+the nearest recognised root (``src/repro/``, ``benchmarks/``,
+``examples/``, ``tests/``).  Fixture files can override it with a
+file-level directive::
+
+    # repro: lint-as core/fixture.py
+
+Suppression
+-----------
+A finding on line ``L`` is suppressed when line ``L`` carries
+``# repro: noqa[RULE]`` naming its rule id (or family prefix), or a
+blanket ``# repro: noqa``.  Suppressions are deliberately per-line and
+grep-able — the point of the linter is that exceptions are visible.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Optional, Sequence
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One ``file:line:col`` diagnostic."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    severity: str = "error"
+
+    def format(self) -> str:
+        """Render as ``path:line:col: RULE message`` (the CLI text format)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?")
+_LINT_AS_RE = re.compile(r"^#\s*repro:\s*lint-as\s+(?P<path>\S+)\s*$", re.MULTILINE)
+
+#: Directory-name markers that anchor a file's logical path.
+_ROOTS = ("src/repro", "benchmarks", "examples", "tests")
+
+
+def logical_path_for(path: str) -> str:
+    """Map a filesystem path to its repo-role path.
+
+    ``src/repro/core/bounds.py`` -> ``core/bounds.py``;
+    ``benchmarks/bench_table1.py`` -> ``benchmarks/bench_table1.py``;
+    anything unrecognised keeps its basename (so ad-hoc files are linted
+    with only the unscoped rules).
+    """
+    norm = path.replace(os.sep, "/")
+    parts = norm.split("/")
+    joined = "/".join(parts)
+    for root in _ROOTS:
+        marker = root + "/"
+        idx = joined.find(marker)
+        # Only match at a path-component boundary.
+        if idx != -1 and (idx == 0 or joined[idx - 1] == "/"):
+            rest = joined[idx + len(marker):]
+            if root in ("benchmarks", "examples", "tests"):
+                return f"{root}/{rest}"
+            return rest
+    return parts[-1]
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one file."""
+
+    path: str
+    logical_path: str
+    source: str
+    tree: ast.Module
+    lines: tuple[str, ...]
+
+    def in_scope(self, prefixes: Sequence[str]) -> bool:
+        """True when this file falls under any of the scope prefixes."""
+        if not prefixes:
+            return True
+        return any(self.logical_path.startswith(p) for p in prefixes)
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``scopes`` is a tuple of logical-path prefixes the rule applies to
+    (empty means every file); ``severity`` is ``"error"`` or
+    ``"warning"`` — only errors affect the exit code.
+    """
+
+    id: str = ""
+    family: str = ""
+    severity: str = "error"
+    scopes: tuple[str, ...] = ()
+    summary: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    # Convenience for subclasses.
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.id,
+            message=message,
+            severity=self.severity,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule (instance) to the global registry."""
+    rule = rule_cls()
+    if not rule.id:
+        raise ValueError(f"rule {rule_cls.__name__} has no id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return rule_cls
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, sorted by id."""
+    return tuple(_REGISTRY[k] for k in sorted(_REGISTRY))
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one rule by exact id (raises ``KeyError`` when unknown)."""
+    return _REGISTRY[rule_id]
+
+
+def _select_rules(select: Optional[Iterable[str]]) -> tuple[Rule, ...]:
+    if select is None:
+        return all_rules()
+
+    def matches(rule_id: str, token: str) -> bool:
+        return rule_id.startswith(token) or _REGISTRY[rule_id].family == token
+
+    wanted = [s.strip() for s in select if s.strip()]
+    unknown = [
+        w for w in wanted if not any(matches(rid, w) for rid in _REGISTRY)
+    ]
+    if unknown:
+        raise ValueError(f"unknown rule or family: {', '.join(sorted(unknown))}")
+    return tuple(
+        r for rid, r in sorted(_REGISTRY.items())
+        if any(matches(rid, w) for w in wanted)
+    )
+
+
+def _suppressed(ctx: FileContext, finding: Finding) -> bool:
+    if not 1 <= finding.line <= len(ctx.lines):
+        return False
+    m = _NOQA_RE.search(ctx.lines[finding.line - 1])
+    if m is None:
+        return False
+    rules = m.group("rules")
+    if rules is None:
+        return True  # blanket noqa
+    names = {r.strip() for r in rules.split(",") if r.strip()}
+    return any(finding.rule == n or finding.rule.startswith(n) for n in names)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    logical_path: Optional[str] = None,
+    select: Optional[Iterable[str]] = None,
+) -> list[Finding]:
+    """Lint one source string; returns unsuppressed findings, sorted.
+
+    ``logical_path`` defaults to :func:`logical_path_for` on ``path``,
+    overridden by an in-file ``# repro: lint-as`` directive.
+    """
+    rules = _select_rules(select)
+    directive = _LINT_AS_RE.search(source)
+    if directive is not None:
+        logical = directive.group("path")
+    elif logical_path is not None:
+        logical = logical_path
+    else:
+        logical = logical_path_for(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule="PARSE",
+                message=f"cannot parse: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(
+        path=path,
+        logical_path=logical,
+        source=source,
+        tree=tree,
+        lines=tuple(source.splitlines()),
+    )
+    findings = [
+        f
+        for rule in rules
+        if ctx.in_scope(rule.scopes)
+        for f in rule.check(ctx)
+        if not _suppressed(ctx, f)
+    ]
+    return sorted(findings)
+
+
+def lint_file(
+    path: str, select: Optional[Iterable[str]] = None
+) -> list[Finding]:
+    """Lint one file from disk."""
+    with open(path, encoding="utf-8") as fh:
+        return lint_source(fh.read(), path=path, select=select)
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Expand files/directories into a sorted stream of ``.py`` paths."""
+    for p in paths:
+        if os.path.isdir(p):
+            for dirpath, dirnames, filenames in os.walk(p):
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if not d.startswith(".") and d != "__pycache__"
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        yield os.path.join(dirpath, name)
+        else:
+            yield p
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Optional[Iterable[str]] = None,
+    on_file: Optional[Callable[[str], None]] = None,
+) -> list[Finding]:
+    """Lint files and directories; the CLI's workhorse.
+
+    ``on_file`` (when given) is called with each path before linting —
+    used by ``--verbose`` progress output.
+    """
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        if on_file is not None:
+            on_file(path)
+        findings.extend(lint_file(path, select=select))
+    return sorted(findings)

@@ -1,0 +1,7 @@
+"""Shipped rule families.  Importing this package registers every rule."""
+
+from __future__ import annotations
+
+from . import determinism, floats, hygiene, resilience
+
+__all__ = ["determinism", "floats", "hygiene", "resilience"]

@@ -1,0 +1,44 @@
+"""Small AST helpers shared by the rule modules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+__all__ = ["dotted_name", "call_dotted_name", "root_name", "is_int_const"]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_dotted_name(node: ast.Call) -> Optional[str]:
+    """Dotted name of the called function, else None."""
+    return dotted_name(node.func)
+
+
+def root_name(node: ast.AST) -> Optional[str]:
+    """Leftmost ``Name`` of an attribute/subscript chain (``a`` in
+    ``a.b[k].c``), else None."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def is_int_const(node: ast.AST) -> bool:
+    """True for an integer literal (excluding booleans)."""
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, int)
+        and not isinstance(node.value, bool)
+    )

@@ -225,7 +225,7 @@ def use_tracer(tracer: Any) -> Iterator[Any]:
         set_tracer(prev)
 
 
-def trace_span(name: str, **tags: Any):
+def trace_span(name: str, **tags: Any) -> "_ActiveSpan | _NullSpan":
     """Open a span on the installed tracer (shared no-op when disabled)."""
     t = _tracer
     if not t.enabled:

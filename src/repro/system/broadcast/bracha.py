@@ -27,7 +27,7 @@ import math
 from typing import Any, Optional
 
 from ...obs import metrics as _obs
-from ..messages import canonical_bytes
+from ..messages import canonical_bytes, defensive_copy
 
 __all__ = ["BrachaState", "INIT", "ECHO", "READY"]
 
@@ -80,14 +80,17 @@ class BrachaState:
                 self._echoed = True
                 out.extend((dst, (ECHO, value)) for dst in range(self.n))
         elif phase == ECHO:
-            self._values.setdefault(key, value)
+            # Retained past this handler while `value` is also forwarded:
+            # store a private copy so a sender-side mutation of the live
+            # payload cannot rewrite what we later deliver.
+            self._values.setdefault(key, defensive_copy(value))
             voters = self._echoes.setdefault(key, set())
             voters.add(src)
             if len(voters) >= self.echo_threshold and not self._readied:
                 self._readied = True
                 out.extend((dst, (READY, value)) for dst in range(self.n))
         elif phase == READY:
-            self._values.setdefault(key, value)
+            self._values.setdefault(key, defensive_copy(value))
             voters = self._readys.setdefault(key, set())
             voters.add(src)
             if len(voters) >= self.f + 1 and not self._readied:

@@ -24,7 +24,7 @@ to everyone in time.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any
 
 from ...obs import metrics as _obs
 from ..crypto import Signature, SignatureScheme

@@ -20,7 +20,7 @@ Properties provided (under ``n >= 3f + 1``):
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 __all__ = ["BroadcastDefault", "majority"]
 

@@ -30,7 +30,7 @@ inject values into parts of the tree they do not control.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Optional
+from typing import Any, Iterable
 
 from ...obs import metrics as _obs
 from .interface import BroadcastDefault, majority

@@ -12,13 +12,20 @@ data bytes so that numerically identical vectors sign identically.
 
 from __future__ import annotations
 
+import copy
 import pickle
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
 import numpy as np
 
-__all__ = ["ALL", "Message", "canonical_bytes", "estimate_bytes"]
+__all__ = [
+    "ALL",
+    "Message",
+    "canonical_bytes",
+    "defensive_copy",
+    "estimate_bytes",
+]
 
 
 #: Assumed wire cost of fixed-width fields (ids, seq, round, framing).
@@ -52,6 +59,24 @@ def estimate_bytes(obj: Any) -> int:
     if d:
         return estimate_bytes(d)
     return _SCALAR_BYTES
+
+
+_IMMUTABLE = (int, float, bool, str, bytes, frozenset, type(None))
+
+
+def defensive_copy(obj: Any) -> Any:
+    """Deep copy of a payload that a handler retains past its own return.
+
+    A handler that both *stores* an in-flight payload and *forwards* it
+    (or returns it to the caller) aliases one object into two lifetimes:
+    a mutation through either reference silently corrupts the other — in
+    a Byzantine-fault simulator that can masquerade as equivocation.
+    Retained payloads must go through this helper (enforced by the HYG002
+    lint rule).  Immutable scalars are returned as-is.
+    """
+    if isinstance(obj, _IMMUTABLE):
+        return obj
+    return copy.deepcopy(obj)
 
 
 def canonical_bytes(obj: Any) -> bytes:

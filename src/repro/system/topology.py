@@ -14,10 +14,9 @@ alike — a Byzantine process cannot conjure wires).
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Optional
 
 import networkx as nx
-import numpy as np
 
 __all__ = [
     "Topology",

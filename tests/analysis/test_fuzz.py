@@ -8,7 +8,6 @@ net in the suite.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.analysis.fuzz import ALGORITHMS, FuzzFailure, fuzz_consensus, random_adversary

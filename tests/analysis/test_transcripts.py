@@ -2,14 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.analysis.transcripts import (
-    TranscriptSummary,
-    render_transcript,
-    summarize_transcript,
-)
+from repro.analysis.transcripts import render_transcript, summarize_transcript
 from repro.system import Adversary, SilentStrategy
 from repro.system.process import AsyncProcess, SyncProcess
 from repro.system.scheduler import AsyncScheduler, SynchronousScheduler

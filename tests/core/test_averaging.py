@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 import pytest
@@ -13,12 +12,7 @@ from repro.core.averaging import (
     rounds_for_epsilon,
 )
 from repro.core.runner import run_averaging
-from repro.system.adversary import (
-    Adversary,
-    EquivocateStrategy,
-    MutateStrategy,
-    SilentStrategy,
-)
+from repro.system.adversary import Adversary, MutateStrategy, SilentStrategy
 from repro.system.scheduler import DelayPolicy, FifoPolicy
 
 

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.runner import (
     ConsensusOutcome,
@@ -13,7 +12,7 @@ from repro.core.runner import (
     run_k_relaxed,
     run_scalar,
 )
-from repro.system.adversary import Adversary, SilentStrategy
+from repro.system.adversary import Adversary
 
 
 class TestRunnerSurface:

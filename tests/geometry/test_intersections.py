@@ -6,8 +6,6 @@ import math
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.geometry.distance import distance_to_hull, in_hull
 from repro.geometry.intersections import (

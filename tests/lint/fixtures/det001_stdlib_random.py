@@ -1,0 +1,9 @@
+# repro: lint-as core/fixture_det001.py
+"""Fixture: stdlib ``random`` in a deterministic layer -> DET001 only
+(two findings: the import and the global-RNG draw)."""
+
+
+def pick() -> float:
+    import random
+
+    return random.random()

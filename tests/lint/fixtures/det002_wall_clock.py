@@ -1,0 +1,13 @@
+# repro: lint-as system/fixture_det002.py
+"""Fixture: wall-clock read in a deterministic layer -> exactly one DET002.
+
+``time.perf_counter()`` is allowed (duration-only, never branches a
+protocol decision), so only the ``time.time()`` call is a finding.
+"""
+
+import time
+
+
+def stamp() -> float:
+    _ = time.perf_counter()
+    return time.time()

@@ -1,0 +1,11 @@
+# repro: lint-as benchmarks/fixture_det003.py
+"""Fixture: unseeded NumPy generator -> exactly one DET003."""
+
+import numpy as np
+
+
+def draw() -> float:
+    seeded = np.random.default_rng(42)  # fine: explicit seed
+    _ = seeded.random()
+    rng = np.random.default_rng()
+    return float(rng.random())

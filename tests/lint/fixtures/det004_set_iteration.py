@@ -1,0 +1,15 @@
+# repro: lint-as dst/fixture_det004.py
+"""Fixture: iterating a set literal -> exactly one DET004.
+
+Iteration order of a set depends on insertion history and hash seeds;
+deterministic layers must sort first.
+"""
+
+
+def totals() -> int:
+    acc = 0
+    for pid in {3, 1, 2}:
+        acc += pid
+    for pid in sorted({3, 1, 2}):  # fine: explicit order
+        acc += pid
+    return acc

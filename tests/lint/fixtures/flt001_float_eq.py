@@ -1,0 +1,6 @@
+# repro: lint-as geometry/fixture_flt001.py
+"""Fixture: bare ``== 0.0`` on a float -> exactly one FLT001."""
+
+
+def is_tight(delta: float) -> bool:
+    return delta == 0.0

@@ -1,0 +1,9 @@
+# repro: lint-as system/broadcast/fixture_hyg001.py
+"""Fixture: handler mutating module-level state -> exactly one HYG001."""
+
+_SEEN: dict[int, object] = {}
+
+
+class FixtureState:
+    def on_message(self, src: int, payload: object) -> None:
+        _SEEN[src] = payload

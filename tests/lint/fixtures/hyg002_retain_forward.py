@@ -1,0 +1,13 @@
+# repro: lint-as system/broadcast/fixture_hyg002.py
+"""Fixture: handler stores an in-flight payload it also forwards ->
+exactly one HYG002 (at the store site)."""
+
+
+class FixtureRelay:
+    def __init__(self) -> None:
+        self.values: dict[int, object] = {}
+        self.peers: list[object] = []
+
+    def on_message(self, src: int, payload: object) -> list[object]:
+        self.values[src] = payload
+        return [payload for _ in self.peers]

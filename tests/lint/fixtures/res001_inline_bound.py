@@ -1,0 +1,11 @@
+# repro: lint-as core/fixture_res001.py
+"""Fixture: inline ``(d+1)f+1`` resilience arithmetic -> exactly one RES001.
+
+Bound arithmetic must go through the named predicates in
+``repro.core.bounds`` so every theorem threshold has one source of truth.
+"""
+
+
+def check(n: int, d: int, f: int) -> None:
+    if n < (d + 1) * f + 1:
+        raise ValueError("too few processes")

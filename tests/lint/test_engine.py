@@ -1,0 +1,102 @@
+"""Engine-level behaviour: scoping, suppression, selection, fixtures."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import all_rules, get_rule, lint_file, lint_source
+from repro.lint.engine import logical_path_for
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: fixture file -> the single rule id it must trigger
+FIXTURE_RULES = {
+    "det001_stdlib_random.py": "DET001",
+    "det002_wall_clock.py": "DET002",
+    "det003_unseeded_rng.py": "DET003",
+    "det004_set_iteration.py": "DET004",
+    "flt001_float_eq.py": "FLT001",
+    "res001_inline_bound.py": "RES001",
+    "hyg001_module_state.py": "HYG001",
+    "hyg002_retain_forward.py": "HYG002",
+}
+
+
+def test_registry_has_all_documented_rules():
+    ids = {r.id for r in all_rules()}
+    assert set(FIXTURE_RULES.values()) <= ids
+
+
+def test_get_rule_unknown_id():
+    with pytest.raises(KeyError):
+        get_rule("NOPE999")
+
+
+def test_every_fixture_exists_for_every_rule_family():
+    families = {get_rule(rid).family for rid in FIXTURE_RULES.values()}
+    assert families == {"determinism", "float-safety", "resilience-bounds",
+                        "handler-hygiene"}
+
+
+@pytest.mark.parametrize("fixture,rule_id", sorted(FIXTURE_RULES.items()))
+def test_fixture_triggers_exactly_its_rule(fixture, rule_id):
+    findings = lint_file(str(FIXTURES / fixture))
+    assert findings, f"{fixture} produced no findings"
+    assert {f.rule for f in findings} == {rule_id}
+
+
+def test_logical_path_mapping():
+    assert logical_path_for("src/repro/core/bounds.py") == "core/bounds.py"
+    assert (
+        logical_path_for("/abs/src/repro/system/broadcast/bracha.py")
+        == "system/broadcast/bracha.py"
+    )
+    assert logical_path_for("benchmarks/bench_scaling.py") == (
+        "benchmarks/bench_scaling.py"
+    )
+
+
+def test_lint_as_directive_controls_scope():
+    src = "import random\n"
+    in_scope = lint_source(src, logical_path="core/x.py")
+    out_of_scope = lint_source(src, logical_path="analysis/x.py")
+    assert {f.rule for f in in_scope} == {"DET001"}
+    assert out_of_scope == []
+
+
+def test_noqa_suppresses_only_named_rule():
+    src = "delta = 0.5\nok = delta == 0.0  # repro: noqa[FLT001]\n"
+    assert lint_source(src, logical_path="geometry/x.py") == []
+    src_wrong = "delta = 0.5\nok = delta == 0.0  # repro: noqa[RES001]\n"
+    findings = lint_source(src_wrong, logical_path="geometry/x.py")
+    assert {f.rule for f in findings} == {"FLT001"}
+
+
+def test_bare_noqa_suppresses_everything_on_line():
+    src = "import random  # repro: noqa\n"
+    assert lint_source(src, logical_path="core/x.py") == []
+
+
+def test_noqa_family_prefix():
+    src = "import random  # repro: noqa[DET]\n"
+    assert lint_source(src, logical_path="core/x.py") == []
+
+
+def test_select_restricts_rules():
+    src = "import random\nx = 1.0\nok = x == 0.0\n"
+    only_flt = lint_source(src, logical_path="core/x.py", select=["FLT001"])
+    assert {f.rule for f in only_flt} == {"FLT001"}
+    only_det = lint_source(src, logical_path="core/x.py", select=["determinism"])
+    assert {f.rule for f in only_det} == {"DET001"}
+
+
+def test_syntax_error_reported_as_parse_finding():
+    findings = lint_source("def broken(:\n", logical_path="core/x.py")
+    assert [f.rule for f in findings] == ["PARSE"]
+
+
+def test_finding_format_is_path_line_col():
+    f = lint_source("import random\n", path="src/repro/core/x.py")[0]
+    text = f.format()
+    assert text.startswith("src/repro/core/x.py:1:")
+    assert "DET001" in text

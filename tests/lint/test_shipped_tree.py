@@ -1,0 +1,21 @@
+"""The shipped tree must be lint-clean — the acceptance gate CI enforces.
+
+Keeping this as a unit test (not only a CI step) means a change that
+reintroduces wall-clock reads, bare float equality, inline resilience
+arithmetic, or payload aliasing fails `pytest` locally with the exact
+file:line diagnostics.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+@pytest.mark.parametrize("top", ["src/repro", "benchmarks", "examples"])
+def test_shipped_tree_has_zero_findings(top):
+    findings = lint_paths([str(REPO / top)])
+    assert findings == [], "\n" + "\n".join(f.format() for f in findings)

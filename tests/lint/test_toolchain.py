@@ -1,0 +1,75 @@
+"""Generic-toolchain wiring: ruff and the mypy strict subset.
+
+The tools themselves are optional at test time (the repo's own checker
+carries the protocol rules); when installed — as in the CI lint job —
+they must pass on the shipped tree with the pyproject configuration.
+"""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+PYPROJECT = (REPO / "pyproject.toml").read_text()
+
+
+def test_pyproject_configures_ruff():
+    assert "[tool.ruff]" in PYPROJECT
+    assert '"E4", "E7", "E9", "F"' in PYPROJECT
+
+
+def test_pyproject_configures_mypy_strict_subset():
+    assert "[tool.mypy]" in PYPROJECT
+    for mod in ('"repro.core.*"', '"repro.geometry.*"', '"repro.obs.*"'):
+        assert mod in PYPROJECT, f"{mod} missing from strict overrides"
+    assert "disallow_untyped_defs = true" in PYPROJECT
+
+
+def test_strict_subset_is_fully_annotated():
+    """AST-level stand-in for `mypy --disallow-untyped-defs` so the gate
+    holds even where mypy is not installed."""
+    import ast
+
+    offenders = []
+    for pkg in ("core", "geometry", "obs", "lint"):
+        for path in sorted((REPO / "src" / "repro" / pkg).rglob("*.py")):
+            tree = ast.parse(path.read_text())
+            for node in ast.walk(tree):
+                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                args = node.args
+                unannotated = [
+                    a.arg
+                    for a in args.posonlyargs + args.args + args.kwonlyargs
+                    if a.annotation is None and a.arg not in ("self", "cls")
+                ]
+                if args.vararg and args.vararg.annotation is None:
+                    unannotated.append("*" + args.vararg.arg)
+                if args.kwarg and args.kwarg.annotation is None:
+                    unannotated.append("**" + args.kwarg.arg)
+                if node.returns is None and node.name != "__init__":
+                    unannotated.append("<return>")
+                if unannotated:
+                    offenders.append(f"{path}:{node.lineno} {node.name} {unannotated}")
+    assert offenders == [], "\n".join(offenders)
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_clean_on_shipped_tree():
+    proc = subprocess.run(
+        ["ruff", "check", "src", "benchmarks", "examples", "tests"],
+        capture_output=True, text=True, cwd=REPO,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_mypy_strict_subset_clean():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--no-error-summary"],
+        capture_output=True, text=True, cwd=REPO,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -13,7 +13,7 @@ from repro.system import (
     MutateStrategy,
     SilentStrategy,
 )
-from repro.system.adversary import AdversaryView, ByzantineStrategy
+from repro.system.adversary import ByzantineStrategy
 from repro.system.network import Network
 from repro.system.process import AsyncProcess, Context, SyncProcess
 from repro.system.scheduler import AsyncScheduler, SynchronousScheduler

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.system.adversary import (
@@ -12,7 +11,6 @@ from repro.system.adversary import (
     SilentStrategy,
 )
 from repro.system.broadcast.bracha import ECHO, INIT, READY, BrachaState
-from repro.system.scheduler import DelayPolicy
 
 from .broadcast_harness import run_bracha
 

@@ -8,8 +8,6 @@ instance must be useless in another) and EIG tree isolation.
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
 from repro.system.broadcast.dolev_strong import DolevStrongState
 from repro.system.broadcast.om import EIGState

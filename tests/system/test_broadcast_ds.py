@@ -2,14 +2,12 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.system.adversary import (
     Adversary,
     AdversaryView,
     ByzantineStrategy,
-    EquivocateStrategy,
     MutateStrategy,
     SilentStrategy,
 )

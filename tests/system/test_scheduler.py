@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.system.adversary import Adversary, SilentStrategy
-from repro.system.process import AsyncProcess, Context, SyncProcess
+from repro.system.process import AsyncProcess, SyncProcess
 from repro.system.scheduler import (
     AsyncScheduler,
     DelayPolicy,
