@@ -12,8 +12,16 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.tables import format_table
+from repro.core import RunSpec, run
 
-__all__ = ["report", "rng_for", "OBS_HEADERS", "obs_columns"]
+__all__ = [
+    "OBS_HEADERS",
+    "obs_columns",
+    "report",
+    "rng_for",
+    "run_spec",
+    "sweep_rows",
+]
 
 
 def report(title: str, headers, rows) -> None:
@@ -52,3 +60,32 @@ def rng_for(tag: str, index: int = 0) -> np.random.Generator:
 
     digest = hashlib.sha256(f"{tag}#{index}".encode()).digest()
     return np.random.default_rng(int.from_bytes(digest[:8], "little"))
+
+
+def run_spec(**kwargs):
+    """Declare-and-run shorthand: ``run(RunSpec(**kwargs))``.
+
+    The benchmarks' single entry point into the consensus stack — one
+    vocabulary (the :class:`~repro.core.runspec.RunSpec` fields) instead
+    of six ``run_*`` signatures.
+    """
+    return run(RunSpec(**kwargs))
+
+
+def sweep_rows(grid, *, workers: int = 1):
+    """Run an experiment grid through :mod:`repro.exec`; yield table rows.
+
+    Shared harness for benchmarks that fan a grid of repeated trials:
+    returns ``(SweepResult, rows)`` where each row is
+    ``[algorithm, n, d, adversary, ok, rounds, msgs, wall(s)]`` in grid
+    order — ready for :func:`report`.
+    """
+    from repro.exec import run_grid
+
+    result = run_grid(grid, workers=workers)
+    rows = [
+        [t.algorithm, t.n, t.d, t.adversary, t.ok, t.rounds, t.messages,
+         round(t.wall_seconds, 4)]
+        for t in result.trials
+    ]
+    return result, rows

@@ -17,7 +17,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import run_algo, run_exact_bvc
 from repro.core.bounds import theorem9_bound
 from repro.system.adversary import (
     Adversary,
@@ -27,7 +26,7 @@ from repro.system.adversary import (
     SilentStrategy,
 )
 
-from ._util import OBS_HEADERS, obs_columns, report, rng_for
+from ._util import OBS_HEADERS, obs_columns, report, rng_for, run_spec
 
 
 def _adversaries():
@@ -65,7 +64,8 @@ class TestAlgoEndToEnd:
                     if strat is None
                     else Adversary(faulty=[n - 1], strategy=strat)
                 )
-                out = run_algo(inputs, f=1, adversary=adv, seed=d)
+                out = run_spec(algorithm="algo", inputs=inputs, f=1,
+                               adversary=adv, seed=d)
                 rows.append([d, n, name, out.delta_used,
                              *obs_columns(out),
                              "OK" if out.ok else "FAILED"])
@@ -79,7 +79,8 @@ class TestAlgoEndToEnd:
         rng = rng_for("algo-kernel")
         inputs = rng.normal(size=(4, 3))
         benchmark(
-            lambda: run_algo(inputs, f=1, adversary=Adversary(faulty=[3]), seed=0)
+            lambda: run_spec(algorithm="algo", inputs=inputs, f=1,
+                             adversary=Adversary(faulty=[3]), seed=0)
         )
 
     def test_crossover_vs_exact_bvc(self, benchmark):
@@ -91,13 +92,16 @@ class TestAlgoEndToEnd:
             rng = rng_for(f"algo-cross-{n}")
             inputs = rng.normal(size=(n, d))
             adv = Adversary(faulty=[n - 1])
-            algo = run_algo(inputs, f=1, adversary=adv, seed=1)
+            algo = run_spec(algorithm="algo", inputs=inputs, f=1, adversary=adv,
+                            seed=1)
             if n >= (d + 1) * 1 + 1:
-                exact = run_exact_bvc(inputs, f=1, adversary=adv, seed=1)
+                exact = run_spec(algorithm="exact", inputs=inputs, f=1,
+                                 adversary=adv, seed=1)
                 exact_status = "OK" if exact.ok else "FAILED"
             else:
                 with pytest.raises(Exception):
-                    run_exact_bvc(inputs, f=1, adversary=adv, seed=1)
+                    run_spec(algorithm="exact", inputs=inputs, f=1,
+                             adversary=adv, seed=1)
                 exact_status = "IMPOSSIBLE (Γ empty)"
             rows.append([d, n, algo.delta_used,
                          "OK" if algo.ok else "FAILED", exact_status])
@@ -110,7 +114,8 @@ class TestAlgoEndToEnd:
         rng = rng_for("algo-cross-kernel")
         inputs = rng.normal(size=(5, 3))
         benchmark(
-            lambda: run_exact_bvc(inputs, f=1, adversary=Adversary(faulty=[4]), seed=0)
+            lambda: run_spec(algorithm="exact", inputs=inputs, f=1,
+                             adversary=Adversary(faulty=[4]), seed=0)
         )
 
     def test_delta_bound_honoured_outlier_faults(self, benchmark):
@@ -124,7 +129,8 @@ class TestAlgoEndToEnd:
             honest = rng.normal(size=(d, d))
             outlier = honest.mean(axis=0, keepdims=True) + 40.0
             inputs = np.vstack([honest, outlier])
-            out = run_algo(inputs, f=1, adversary=Adversary(faulty=[d]), seed=2)
+            out = run_spec(algorithm="algo", inputs=inputs, f=1,
+                           adversary=Adversary(faulty=[d]), seed=2)
             bound = theorem9_bound(out.honest_inputs, d + 1)
             rows.append([d, d + 1, out.delta_used, bound,
                          "OK" if out.delta_used < bound else "VIOLATION"])
@@ -139,5 +145,6 @@ class TestAlgoEndToEnd:
         honest = rng.normal(size=(3, 3))
         inputs = np.vstack([honest, honest.mean(axis=0, keepdims=True) + 40.0])
         benchmark(
-            lambda: run_algo(inputs, f=1, adversary=Adversary(faulty=[3]), seed=0)
+            lambda: run_spec(algorithm="algo", inputs=inputs, f=1,
+                             adversary=Adversary(faulty=[3]), seed=0)
         )

@@ -16,11 +16,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import run_algo
 from repro.core.lemma10 import NaiveAveragingProcess, lemma10_demo, run_ring
 from repro.system.adversary import Adversary, MutateStrategy, SilentStrategy
 
-from ._util import report, rng_for
+from ._util import report, rng_for, run_spec
 
 
 class TestFootnote3:
@@ -42,7 +41,8 @@ class TestFootnote3:
                     if strat is None
                     else Adversary(faulty=[2], strategy=strat)
                 )
-                out = run_algo(inputs, f=1, adversary=adv, transport="atomic")
+                out = run_spec(algorithm="algo", inputs=inputs, f=1,
+                               adversary=adv, transport="atomic")
                 rows.append([d, 3, name, out.delta_used, out.result.rounds,
                              "OK" if out.ok else "FAILED"])
                 assert out.ok, f"d={d}, {name}"
@@ -55,8 +55,9 @@ class TestFootnote3:
         rng = rng_for("fn3-kernel")
         inputs = rng.normal(size=(3, 3))
         benchmark(
-            lambda: run_algo(
-                inputs, f=1, adversary=Adversary(faulty=[2]), transport="atomic"
+            lambda: run_spec(
+                algorithm="algo", inputs=inputs, f=1,
+                adversary=Adversary(faulty=[2]), transport="atomic",
             )
         )
 

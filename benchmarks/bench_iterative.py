@@ -17,7 +17,6 @@ across topologies and fault patterns and makes three things visible:
 from __future__ import annotations
 
 
-from repro.core import run_iterative
 from repro.system.adversary import Adversary, EquivocateStrategy, SilentStrategy
 from repro.system.topology import (
     complete_topology,
@@ -26,7 +25,7 @@ from repro.system.topology import (
     wheel_of_cliques_topology,
 )
 
-from ._util import report, rng_for
+from ._util import report, rng_for, run_spec
 
 
 def equivocate(tag, payload, dst, rng):
@@ -47,9 +46,9 @@ class TestIterative:
             rng = rng_for(f"iter-{name}")
             inputs = rng.normal(size=(n, d))
             adv = Adversary(faulty=[n - 1], strategy=SilentStrategy())
-            out = run_iterative(
-                inputs, f=f, topology=topo, num_rounds=60,
-                epsilon=eps, adversary=adv,
+            out = run_spec(
+                algorithm="iterative", inputs=inputs, f=f, topology=topo,
+                rounds=60, epsilon=eps, adversary=adv,
             )
             supported = topo.supports_iterative_bvc(d, f)
             rows.append([
@@ -71,7 +70,8 @@ class TestIterative:
         rng = rng_for("iter-kernel")
         inputs = rng.normal(size=(6, 2))
         benchmark(
-            lambda: run_iterative(inputs, f=1, num_rounds=10, epsilon=1e9)
+            lambda: run_spec(algorithm="iterative", inputs=inputs, f=1,
+                             rounds=10, epsilon=1e9)
         )
 
     def test_gap_visible_with_equivocation(self, benchmark):
@@ -94,9 +94,9 @@ class TestIterative:
                 adv = Adversary(
                     faulty=[8], strategy=EquivocateStrategy(equivocate)
                 )
-                out = run_iterative(
-                    inputs, f=f, topology=topo, num_rounds=60,
-                    epsilon=eps, adversary=adv,
+                out = run_spec(
+                    algorithm="iterative", inputs=inputs, f=f, topology=topo,
+                    rounds=60, epsilon=eps, adversary=adv,
                 )
                 assert out.report.validity_ok, f"{name} trial {i}"
                 diams.append(out.report.agreement_diameter)
@@ -115,8 +115,9 @@ class TestIterative:
         inputs = rng.normal(size=(9, 2))
         topo = random_regular_topology(9, 6, seed=1)
         benchmark(
-            lambda: run_iterative(
-                inputs, f=1, topology=topo, num_rounds=10, epsilon=1e9,
+            lambda: run_spec(
+                algorithm="iterative", inputs=inputs, f=1, topology=topo,
+                rounds=10, epsilon=1e9,
                 adversary=Adversary(faulty=[8],
                                     strategy=EquivocateStrategy(equivocate)),
             )
@@ -136,8 +137,9 @@ class TestIterative:
             # measure the first round count achieving eps (probe doubling)
             rounds_needed = None
             for rounds in (5, 10, 20, 40, 80):
-                out = run_iterative(
-                    inputs, f=1, topology=topo, num_rounds=rounds, epsilon=eps
+                out = run_spec(
+                    algorithm="iterative", inputs=inputs, f=1, topology=topo,
+                    rounds=rounds, epsilon=eps,
                 )
                 if out.report.agreement_diameter <= eps:
                     rounds_needed = rounds
@@ -154,7 +156,8 @@ class TestIterative:
         inputs = rng.normal(size=(12, 2))
         topo = wheel_of_cliques_topology(6, 2)
         benchmark(
-            lambda: run_iterative(
-                inputs, f=1, topology=topo, num_rounds=10, epsilon=1e9
+            lambda: run_spec(
+                algorithm="iterative", inputs=inputs, f=1, topology=topo,
+                rounds=10, epsilon=1e9,
             )
         )

@@ -17,12 +17,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import run_averaging
 from repro.core.averaging import rounds_for_epsilon
 from repro.system.adversary import Adversary, SilentStrategy
 from repro.system.scheduler import DelayPolicy
 
-from ._util import OBS_HEADERS, obs_columns, report, rng_for
+from ._util import OBS_HEADERS, obs_columns, report, rng_for, run_spec
 
 
 class TestRVA:
@@ -36,7 +35,8 @@ class TestRVA:
             ]:
                 rng = rng_for(f"rva-{d}-{name}")
                 inputs = rng.normal(size=(n, d))
-                out = run_averaging(inputs, f=1, adversary=adv, epsilon=1e-2, seed=d)
+                out = run_spec(algorithm="averaging", inputs=inputs, f=1,
+                               adversary=adv, epsilon=1e-2, seed=d)
                 rows.append([d, n, name, out.delta_used,
                              out.report.agreement_diameter,
                              out.result.rounds,
@@ -53,8 +53,8 @@ class TestRVA:
         rng = rng_for("rva-kernel")
         inputs = rng.normal(size=(4, 3))
         benchmark(
-            lambda: run_averaging(
-                inputs, f=1,
+            lambda: run_spec(
+                algorithm="averaging", inputs=inputs, f=1,
                 adversary=Adversary(faulty=[3], strategy=SilentStrategy()),
                 epsilon=1e-2, seed=0,
             )
@@ -66,8 +66,9 @@ class TestRVA:
         rng = rng_for("rva-eps")
         inputs = rng.normal(size=(4, 3))
         for eps in (1e-1, 1e-2, 1e-3, 1e-4):
-            out = run_averaging(
-                inputs, f=1, adversary=Adversary(faulty=[3]), epsilon=eps, seed=5
+            out = run_spec(
+                algorithm="averaging", inputs=inputs, f=1,
+                adversary=Adversary(faulty=[3]), epsilon=eps, seed=5,
             )
             planned = rounds_for_epsilon(
                 3.0 * float(np.max(inputs.max(axis=0) - inputs.min(axis=0))), 4, 1, eps
@@ -81,8 +82,9 @@ class TestRVA:
             rows,
         )
         benchmark(
-            lambda: run_averaging(
-                inputs, f=1, adversary=Adversary(faulty=[3]), epsilon=1e-2, seed=5
+            lambda: run_spec(
+                algorithm="averaging", inputs=inputs, f=1,
+                adversary=Adversary(faulty=[3]), epsilon=1e-2, seed=5,
             )
         )
 
@@ -93,8 +95,8 @@ class TestRVA:
         rng = rng_for("rva-sched")
         inputs = rng.normal(size=(4, 3))
         for name, policy in [("random", None), ("starve-p0", DelayPolicy(victims=[0]))]:
-            out = run_averaging(
-                inputs, f=1,
+            out = run_spec(
+                algorithm="averaging", inputs=inputs, f=1,
                 adversary=Adversary(faulty=[3], strategy=SilentStrategy()),
                 epsilon=1e-2, policy=policy, seed=6,
             )
@@ -107,8 +109,8 @@ class TestRVA:
             rows,
         )
         benchmark(
-            lambda: run_averaging(
-                inputs, f=1,
+            lambda: run_spec(
+                algorithm="averaging", inputs=inputs, f=1,
                 adversary=Adversary(faulty=[3], strategy=SilentStrategy()),
                 epsilon=1e-2, policy=DelayPolicy(victims=[0]), seed=6,
             )
@@ -123,8 +125,8 @@ class TestRVA:
         for n, mode in [(5, "zero"), (5, "optimal"), (4, "optimal")]:
             rng = rng_for(f"rva-base-{n}-{mode}")
             inputs = rng.normal(size=(n, d))
-            out = run_averaging(
-                inputs, f=f,
+            out = run_spec(
+                algorithm="averaging", inputs=inputs, f=f,
                 adversary=Adversary(faulty=[n - 1], strategy=SilentStrategy()),
                 mode=mode, epsilon=1e-2, seed=7,
             )
@@ -140,8 +142,9 @@ class TestRVA:
         rng = rng_for("rva-base-kernel")
         inputs = rng.normal(size=(5, 2))
         benchmark(
-            lambda: run_averaging(
-                inputs, f=1, mode="zero", epsilon=1e-2, seed=7,
+            lambda: run_spec(
+                algorithm="averaging", inputs=inputs, f=1, mode="zero",
+                epsilon=1e-2, seed=7,
                 adversary=Adversary(faulty=[4], strategy=SilentStrategy()),
             )
         )

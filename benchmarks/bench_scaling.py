@@ -17,7 +17,7 @@ from repro.geometry.distance import nearest_point_l2
 from repro.geometry.intersections import f_subsets, gamma_point
 from repro.geometry.minimax import delta_star
 
-from ._util import report, rng_for
+from ._util import report, rng_for, run_spec
 
 
 def _time(fn, reps=3):
@@ -75,7 +75,6 @@ class TestScaling:
     def test_broadcast_message_scaling(self, benchmark):
         """OM(f) message growth vs Dolev–Strong — the transport
         trade-off documented in DESIGN.md."""
-        from repro.core import run_exact_bvc
         from repro.system.adversary import Adversary
 
         rows = []
@@ -83,9 +82,9 @@ class TestScaling:
                                 (5, 1, "dolev-strong"), (7, 2, "dolev-strong")]:
             rng = rng_for(f"scale-bc-{n}-{f}-{transport}")
             inputs = rng.normal(size=(n, 2))
-            out = run_exact_bvc(
-                inputs, f=f, adversary=Adversary(faulty=[n - 1]),
-                transport=transport,
+            out = run_spec(
+                algorithm="exact", inputs=inputs, f=f,
+                adversary=Adversary(faulty=[n - 1]), transport=transport,
             )
             rows.append([transport, n, f, out.result.stats.messages_sent,
                          "OK" if out.ok else "FAILED"])
@@ -98,7 +97,8 @@ class TestScaling:
         rng = rng_for("scale-bc-kernel")
         inputs = rng.normal(size=(5, 2))
         benchmark(
-            lambda: run_exact_bvc(
-                inputs, f=1, adversary=None, transport="dolev-strong"
+            lambda: run_spec(
+                algorithm="exact", inputs=inputs, f=1, adversary=None,
+                transport="dolev-strong",
             )
         )

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import run_iterative
+from repro.core import RunSpec, run
 from repro.system import Adversary, EquivocateStrategy
 from repro.system.topology import (
     complete_topology,
@@ -37,10 +37,10 @@ def jam(tag, payload, dst, rng):
 
 def trial(name: str, topology, inputs, faulty: int, rounds: int) -> None:
     adv = Adversary(faulty=[faulty], strategy=EquivocateStrategy(jam))
-    out = run_iterative(
-        inputs, f=1, topology=topology, num_rounds=rounds,
-        epsilon=1e-2, adversary=adv,
-    )
+    out = run(RunSpec(
+        algorithm="iterative", inputs=inputs, f=1, topology=topology,
+        rounds=rounds, epsilon=1e-2, adversary=adv,
+    ))
     supported = topology.supports_iterative_bvc(inputs.shape[1], 1)
     status = "agreed" if out.report.agreement_ok else "still spread"
     print(f"  {name:<22} deg>={topology.min_degree()}  "

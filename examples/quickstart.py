@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import run_algo, run_exact_bvc
+from repro import RunSpec, run
 from repro.core.bounds import exact_bvc_min_n, theorem9_bound
 from repro.system import Adversary
 
@@ -39,13 +39,15 @@ def main() -> None:
 
     # 1. Exact BVC fails below its bound — Γ(S) comes up empty.
     try:
-        run_exact_bvc(inputs, f=f, adversary=adversary)
+        run(RunSpec(algorithm="exact", inputs=inputs, f=f,
+                    adversary=adversary))
         print("exact BVC unexpectedly succeeded?!")
     except Exception as exc:
         print(f"exact BVC at n={n}: {exc}\n")
 
     # 2. ALGO succeeds with the smallest input-dependent δ.
-    out = run_algo(inputs, f=f, adversary=adversary)
+    out = run(RunSpec(algorithm="algo", inputs=inputs, f=f,
+                      adversary=adversary))
     decision = next(iter(out.decisions.values()))
     print(f"ALGO decision (identical at all correct processes): {decision}")
     print(f"achieved δ* = {out.delta_used:.6f}")

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import run_averaging
+from repro import RunSpec, run
 from repro.core.bounds import approx_bvc_min_n
 from repro.system import Adversary, MutateStrategy, SilentStrategy
 from repro.system.scheduler import DelayPolicy
@@ -57,7 +57,8 @@ def main() -> None:
     grads = honest_gradients(rng, n1, d)
     adv = Adversary(faulty=[n1 - 1], strategy=MutateStrategy(gradient_attack))
     print(f"regime 1: n={n1} workers (classic bound), δ=0 verified averaging")
-    out = run_averaging(grads, f=f, adversary=adv, mode="zero", epsilon=eps, seed=1)
+    out = run(RunSpec(algorithm="averaging", inputs=grads, f=f,
+                      adversary=adv, mode="zero", epsilon=eps, seed=1))
     show("classic verified averaging", out, eps)
 
     # --- regime 2: minimal quorum, relaxed verified averaging ---------------
@@ -65,17 +66,18 @@ def main() -> None:
     grads = honest_gradients(rng, n2, d)
     adv = Adversary(faulty=[n2 - 1], strategy=MutateStrategy(gradient_attack))
     print(f"\nregime 2: n={n2} workers (below classic bound), relaxed averaging")
-    out = run_averaging(grads, f=f, adversary=adv, mode="optimal", epsilon=eps, seed=2)
+    out = run(RunSpec(algorithm="averaging", inputs=grads, f=f,
+                      adversary=adv, mode="optimal", epsilon=eps, seed=2))
     show("relaxed verified averaging", out, eps)
 
     # --- regime 3: adversarial scheduling + a silent straggler --------------
     print(f"\nregime 3: n={n2} workers, silent fault + starvation schedule")
     grads = honest_gradients(rng, n2, d)
     adv = Adversary(faulty=[0], strategy=SilentStrategy())
-    out = run_averaging(
-        grads, f=f, adversary=adv, epsilon=eps,
-        policy=DelayPolicy(victims=[1]), seed=3,
-    )
+    out = run(RunSpec(
+        algorithm="averaging", inputs=grads, f=f, adversary=adv,
+        epsilon=eps, policy=DelayPolicy(victims=[1]), seed=3,
+    ))
     show("relaxed averaging under starvation", out, eps)
 
     print(

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import run_algo, run_exact_bvc, run_k_relaxed
+from repro import RunSpec, run
 from repro.core.bounds import theorem9_bound
 from repro.system import Adversary, MutateStrategy
 
@@ -62,7 +62,7 @@ def main() -> None:
     n1 = 5  # (d+1)f+1
     inputs = station_estimates(rng, n1, noise=0.5)
     adv = Adversary(faulty=[4], strategy=MutateStrategy(spoofed_relay))
-    out = run_exact_bvc(inputs, f=f, adversary=adv)
+    out = run(RunSpec(algorithm="exact", inputs=inputs, f=f, adversary=adv))
     print(f"deployment 1: n={n1} stations, exact BVC (δ = 0)")
     describe("exact consensus", out)
 
@@ -70,7 +70,7 @@ def main() -> None:
     n2 = 4  # d+1 — exact consensus impossible here
     inputs = station_estimates(rng, n2, noise=0.5)
     adv = Adversary(faulty=[3], strategy=MutateStrategy(spoofed_relay))
-    out = run_algo(inputs, f=f, adversary=adv)
+    out = run(RunSpec(algorithm="algo", inputs=inputs, f=f, adversary=adv))
     bound = theorem9_bound(out.honest_inputs, n2)
     print(f"\ndeployment 2: n={n2} stations, ALGO (input-dependent δ)")
     describe(
@@ -83,7 +83,8 @@ def main() -> None:
     n3 = 4  # 3f+1: enough for k=1 relaxed regardless of d
     inputs = station_estimates(rng, n3, noise=0.5)
     adv = Adversary(faulty=[0], strategy=MutateStrategy(spoofed_relay))
-    out = run_k_relaxed(inputs, f=f, k=1, adversary=adv)
+    out = run(RunSpec(algorithm="krelaxed", inputs=inputs, f=f, k=1,
+                      adversary=adv))
     print(f"\ndeployment 3: n={n3} stations, 1-relaxed (per-axis validity)")
     describe("k=1 relaxed consensus", out)
 

@@ -32,6 +32,8 @@ Subpackages
 from . import analysis, core, geometry, system
 from .core import (
     ConsensusOutcome,
+    RunSpec,
+    run,
     run_algo,
     run_averaging,
     run_exact_bvc,
@@ -58,6 +60,7 @@ __all__ = [
     "DeltaPHull",
     "Hull",
     "KRelaxedHull",
+    "RunSpec",
     "__version__",
     "analysis",
     "bounds",
@@ -67,6 +70,7 @@ __all__ = [
     "geometry",
     "inradius",
     "psi_k_point",
+    "run",
     "run_algo",
     "run_averaging",
     "run_exact_bvc",

@@ -7,6 +7,9 @@ Commands
 ``delta``     compute δ*(S) for random or provided inputs
 ``verdicts``  execute the impossibility constructions for a given d
 ``fuzz``      deterministic-simulation soak test of one algorithm
+``sweep``     run an experiment grid (algorithm × d × f × n × adversary),
+              optionally across a worker pool, with serial/parallel
+              bit-identity checking and a JSON report
 ``shrink``    minimise a violating scenario while the violation persists
 ``replay``    re-execute a replay token / seed file under full tracing
 ``trace``     run any other command under the tracer, dump JSONL + summary
@@ -29,6 +32,8 @@ Examples::
     python -m repro verdicts --d 3
     python -m repro fuzz --algorithm averaging --trials 50 --seed 7
     python -m repro fuzz --algorithm algo --trials 5 --inject split-brain
+    python -m repro sweep --algorithms algo,exact --d 2,3 --reps 4 --workers 4
+    python -m repro sweep --reps 8 --workers 2 --compare --out BENCH_sweep.json
     python -m repro shrink --token dst1-...
     python -m repro replay --token dst1-... --trace failure.jsonl
     python -m repro trace --out run.jsonl demo --d 3
@@ -170,7 +175,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         return _fail(f"--trials must be >= 1, got {args.trials}")
     try:
         violations = explore(args.algorithm, trials=args.trials,
-                             seed=args.seed, inject=args.inject)
+                             seed=args.seed, inject=args.inject,
+                             workers=args.workers)
     except ValueError as exc:
         return _fail(str(exc))
     print(f"{args.trials} sampled scenarios of {args.algorithm!r}: "
@@ -208,6 +214,103 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                             + (f" --inject {args.inject}" if args.inject else ""))
             print(f"      saved: {path}")
     return 1 if violations else 0
+
+
+def _int_tuple(text: str) -> tuple[int, ...]:
+    """Parse a comma-separated integer list CLI value."""
+    try:
+        values = tuple(int(x) for x in text.split(",") if x.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a comma-separated int list: {text!r}")
+    if not values:
+        raise argparse.ArgumentTypeError(f"empty list: {text!r}")
+    return values
+
+
+def _str_tuple(text: str) -> tuple[str, ...]:
+    """Parse a comma-separated string list CLI value."""
+    values = tuple(x.strip() for x in text.split(",") if x.strip())
+    if not values:
+        raise argparse.ArgumentTypeError(f"empty list: {text!r}")
+    return values
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from .exec import SweepGrid, compare_grid, run_grid
+    from .geometry import set_cache_enabled
+
+    if args.workers < 1:
+        return _fail(f"--workers must be >= 1, got {args.workers}")
+    try:
+        grid = SweepGrid(
+            algorithms=args.algorithms,
+            dimensions=args.d,
+            faults=args.f,
+            sizes=() if args.n is None else args.n,
+            adversaries=args.adversaries,
+            reps=args.reps,
+            base_seed=args.seed,
+            p=args.p,
+            k=args.k,
+            epsilon=args.epsilon,
+        )
+    except ValueError as exc:
+        return _fail(str(exc))
+    if args.no_cache:
+        set_cache_enabled(False)
+
+    if args.compare:
+        doc = compare_grid(grid, workers=args.workers,
+                           chunksize=args.chunksize,
+                           measure_cache=args.measure_cache)
+        summary = doc["summary"]
+        if not args.quiet:
+            print(f"{doc['trial_count']} trials "
+                  f"({doc['skipped_cells']} cells skipped), "
+                  f"{summary['ok']} ok, cpu_count={doc['cpu_count']}")
+            for mode in doc["modes"]:
+                print(f"  workers={mode['workers']}: "
+                      f"{mode['wall_seconds']:.3f}s")
+            cache = summary["geometry_cache"]
+            print(f"  geometry cache: {cache['hits']:.0f} hits / "
+                  f"{cache['misses']:.0f} misses "
+                  f"(hit rate {cache['hit_rate']:.1%})")
+            if "cache_off" in doc:
+                off = doc["cache_off"]
+                print(f"  cache off: {off['wall_seconds']:.3f}s "
+                      f"(speedup {off['cache_speedup']:.2f}x, identical="
+                      f"{off['identical_to_cached']})")
+        print("serial/parallel decisions identical: "
+              f"{doc['identical']} "
+              f"(digest {doc['decisions_digest']['serial'][:16]}...)")
+        if args.out:
+            with open(args.out, "w") as fh:
+                json.dump(doc, fh, indent=2)
+                fh.write("\n")
+            if not args.quiet:
+                print(f"wrote {args.out}")
+        return 0 if doc["identical"] else 1
+
+    result = run_grid(grid, workers=args.workers, chunksize=args.chunksize)
+    summary = result.summary()
+    print(f"{result.trial_count} trials ({result.skipped_cells} cells "
+          f"skipped), {result.ok_count} ok, workers={result.workers}, "
+          f"{result.wall_seconds:.3f}s")
+    if not args.quiet:
+        cache = summary["geometry_cache"]
+        print(f"  geometry cache: {cache['hits']:.0f} hits / "
+              f"{cache['misses']:.0f} misses "
+              f"(hit rate {cache['hit_rate']:.1%})")
+        for name, row in summary["per_algorithm"].items():
+            print(f"  {name}: {row['ok']}/{row['trials']} ok, "
+                  f"{row['messages']} msgs, {row['wall_seconds']:.3f}s")
+    if args.out:
+        result.save(args.out)
+        if not args.quiet:
+            print(f"wrote {args.out}")
+    return 0 if result.ok_count == result.trial_count else 1
 
 
 def _resolve_scenario(args: argparse.Namespace):
@@ -403,7 +506,51 @@ def build_parser() -> argparse.ArgumentParser:
                    help="minimise each violation before printing its token")
     p.add_argument("--save-dir", default=None,
                    help="write each violation as a seed file in this directory")
+    p.add_argument("--workers", type=int, default=1,
+                   help="fan trials over N worker processes (violations are "
+                        "identical to a serial run's)")
     p.set_defaults(func=_cmd_fuzz)
+
+    p = sub.add_parser(
+        "sweep", parents=[common],
+        help="run a deterministic experiment grid (optionally in parallel)",
+    )
+    p.add_argument("--algorithms", type=_str_tuple, default=("algo",),
+                   help="comma list: exact,algo,krelaxed,scalar,iterative,"
+                        "averaging (default algo)")
+    p.add_argument("--d", type=_int_tuple, default=(2,),
+                   help="comma list of dimensions (default 2)")
+    p.add_argument("--f", type=_int_tuple, default=(1,),
+                   help="comma list of fault budgets (default 1)")
+    p.add_argument("--n", type=_int_tuple, default=None,
+                   help="comma list of system sizes (default: the smallest "
+                        "legal n per cell; undersized cells are skipped)")
+    p.add_argument("--adversaries", type=_str_tuple, default=("none",),
+                   help="comma list: none,honest,silent,crash,mutate,"
+                        "equivocate,duplicate (default none)")
+    p.add_argument("--reps", type=int, default=1,
+                   help="repetitions per cell, each with its own derived seed")
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed hashed into every cell's trial seed")
+    p.add_argument("--p", type=float, default=2.0)
+    p.add_argument("--k", type=int, default=1)
+    p.add_argument("--epsilon", type=float, default=5e-2)
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (1 = in-process serial)")
+    p.add_argument("--chunksize", type=int, default=None,
+                   help="trials per pool chunk (default ~4 chunks/worker)")
+    p.add_argument("--compare", action="store_true",
+                   help="run serially AND in parallel; exit 1 unless the "
+                        "decision digests are identical")
+    p.add_argument("--measure-cache", action="store_true",
+                   help="with --compare: add a cache-disabled pass to "
+                        "measure the geometry cache speedup")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the geometry kernel cache for this sweep")
+    p.add_argument("--out", default=None,
+                   help="write the sweep/comparison report as JSON "
+                        "(BENCH_sweep.json by convention)")
+    p.set_defaults(func=_cmd_sweep)
 
     for name, helptext in (
         ("shrink", "minimise a violating scenario (same invariant must "

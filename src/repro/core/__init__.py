@@ -47,6 +47,7 @@ from .problems import (
 )
 from .runner import (
     ConsensusOutcome,
+    run,
     run_algo,
     run_averaging,
     run_exact_bvc,
@@ -54,6 +55,7 @@ from .runner import (
     run_k_relaxed,
     run_scalar,
 )
+from .runspec import ALGORITHMS, RunSpec
 from .scalar import (
     ScalarConsensusProcess,
     scalar_decision,
@@ -63,6 +65,7 @@ from .scalar import (
 from . import bounds
 
 __all__ = [
+    "ALGORITHMS",
     "AlgoProcess",
     "ApproximateBVC",
     "BroadcastAllProcess",
@@ -79,6 +82,7 @@ __all__ = [
     "NaiveAveragingProcess",
     "ProblemSpec",
     "RingResult",
+    "RunSpec",
     "ScalarConsensusProcess",
     "ValidityReport",
     "VerifiedAveragingProcess",
@@ -94,6 +98,7 @@ __all__ = [
     "k_relaxed_decision",
     "lemma10_demo",
     "psi_i_separation",
+    "run",
     "run_ring",
     "rounds_for_epsilon",
     "run_algo",

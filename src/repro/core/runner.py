@@ -1,12 +1,21 @@
-"""High-level entry points: build a system, run it, check it.
+"""High-level entry point: build a system, run it, check it.
 
-These are the functions the examples and benchmarks call.  Each takes the
-full ``(n, d)`` input matrix (one row per process — including the rows the
-Byzantine processes would *like* to use, which an honest-strategy
-adversary will actually broadcast), an :class:`~repro.system.adversary
-.Adversary`, and knobs; each returns a :class:`ConsensusOutcome` bundling
-decisions, the checker's verdict against the appropriate problem spec, and
-run statistics.
+One declarative entry point runs everything: describe the execution as a
+:class:`~repro.core.runspec.RunSpec` and call :func:`run`::
+
+    from repro.core import RunSpec, run
+    out = run(RunSpec(algorithm="algo", inputs=inputs, f=1,
+                      adversary=Adversary(faulty=[3])))
+
+``run`` dispatches on ``spec.algorithm``, executes the full protocol
+stack, checks the outcome against the appropriate problem spec, and
+returns a :class:`ConsensusOutcome` bundling decisions, the checker's
+verdict, and run statistics.
+
+The historical per-algorithm entry points (``run_exact_bvc``,
+``run_algo``, ``run_k_relaxed``, ``run_scalar``, ``run_iterative``,
+``run_averaging``) are kept as thin forwarding shims so existing call
+sites keep working; new code should construct a ``RunSpec``.
 """
 
 from __future__ import annotations
@@ -16,6 +25,7 @@ from typing import TYPE_CHECKING, Callable, Optional, Union
 
 import numpy as np
 
+from ..obs.metrics import use_registry
 from ..system.adversary import Adversary
 from ..system.crypto import SignatureScheme
 from ..system.process import SyncProcess
@@ -38,14 +48,15 @@ from .problems import (
     ProblemSpec,
     ValidityReport,
 )
+from .runspec import ALGORITHMS, RunSpec
 from .scalar import ScalarConsensusProcess
 
 if TYPE_CHECKING:
     from ..obs.metrics import MetricsRegistry
     from ..system.topology import Topology
 
-__all__ = ["ConsensusOutcome", "run_exact_bvc", "run_algo", "run_k_relaxed",
-           "run_scalar", "run_averaging", "run_iterative"]
+__all__ = ["ConsensusOutcome", "RunSpec", "run", "run_exact_bvc", "run_algo",
+           "run_k_relaxed", "run_scalar", "run_averaging", "run_iterative"]
 
 PNorm = Union[float, int]
 
@@ -129,6 +140,211 @@ def _run_sync(
     return ConsensusOutcome(decisions, report, result, honest, delta)
 
 
+# ---------------------------------------------------------------------------
+# per-algorithm handlers (dispatched by `run`)
+# ---------------------------------------------------------------------------
+
+
+def _handle_exact(spec: RunSpec) -> ConsensusOutcome:
+    inputs = spec.resolved_inputs()
+    d = inputs.shape[1]
+
+    def make(
+        n: int, f_: int, pid: int, v: np.ndarray,
+        transport_: str, scheme: Optional[SignatureScheme],
+    ) -> SyncProcess:
+        return ExactBVCProcess(n, f_, pid, v, transport=transport_, scheme=scheme)
+
+    return _run_sync(make, inputs, spec.f, spec.adversary, ExactBVC(d, spec.f),
+                     transport=spec.transport, seed=spec.seed,
+                     max_rounds=spec.max_rounds)
+
+
+def _handle_algo(spec: RunSpec) -> ConsensusOutcome:
+    inputs, adversary, honest = _prep(spec.resolved_inputs(), spec.adversary)
+    d = inputs.shape[1]
+    p = spec.p
+
+    def make(
+        n: int, f_: int, pid: int, v: np.ndarray,
+        transport_: str, scheme: Optional[SignatureScheme],
+    ) -> SyncProcess:
+        return AlgoProcess(
+            n, f_, pid, v, p=p, transport=transport_, scheme=scheme
+        )
+
+    # Run with a placeholder spec, then re-check against the achieved δ*.
+    outcome = _run_sync(
+        make, inputs, spec.f, adversary,
+        DeltaPExactBVC(d, spec.f, delta=0.0, p=p),
+        transport=spec.transport, seed=spec.seed, max_rounds=spec.max_rounds,
+    )
+    if spec.check_delta is not None:
+        delta = spec.check_delta
+    else:
+        # δ* is a strict minimum: the decision sits exactly at distance δ*
+        # from some subset hull, so the checker needs solver-tolerance
+        # headroom or re-measured distances tip it over by ~1e-7.
+        achieved = outcome.delta_used or 0.0
+        delta = achieved * (1.0 + 1e-6) + 1e-9
+    check_spec = DeltaPExactBVC(d, spec.f, delta=delta, p=p)
+    outcome.report = check_spec.check(
+        honest, outcome.decisions, terminated=outcome.result.completed
+    )
+    return outcome
+
+
+def _handle_krelaxed(spec: RunSpec) -> ConsensusOutcome:
+    inputs = spec.resolved_inputs()
+    d = inputs.shape[1]
+    k = spec.k
+
+    def make(
+        n: int, f_: int, pid: int, v: np.ndarray,
+        transport_: str, scheme: Optional[SignatureScheme],
+    ) -> SyncProcess:
+        return KRelaxedProcess(
+            n, f_, pid, v, k=k, transport=transport_, scheme=scheme
+        )
+
+    return _run_sync(make, inputs, spec.f, spec.adversary,
+                     KRelaxedExactBVC(d, spec.f, k=k),
+                     transport=spec.transport, seed=spec.seed,
+                     max_rounds=spec.max_rounds)
+
+
+def _handle_scalar(spec: RunSpec) -> ConsensusOutcome:
+    def make(
+        n: int, f_: int, pid: int, v: np.ndarray,
+        transport_: str, scheme: Optional[SignatureScheme],
+    ) -> SyncProcess:
+        return ScalarConsensusProcess(
+            n, f_, pid, v, transport=transport_, scheme=scheme
+        )
+
+    return _run_sync(make, spec.resolved_inputs(), spec.f, spec.adversary,
+                     ExactBVC(1, spec.f), transport=spec.transport,
+                     seed=spec.seed, max_rounds=spec.max_rounds)
+
+
+def _handle_iterative(spec: RunSpec) -> ConsensusOutcome:
+    from ..system.topology import Topology, complete_topology
+    from .iterative import IterativeBVCProcess
+
+    inputs, adversary, honest = _prep(spec.resolved_inputs(), spec.adversary)
+    n, d = inputs.shape
+    rounds = spec.rounds if spec.rounds is not None else 30
+    topo: Topology = (
+        spec.topology if spec.topology is not None else complete_topology(n)
+    )
+    procs = [
+        IterativeBVCProcess(
+            n, spec.f, pid, inputs[pid],
+            topology=topo, num_rounds=rounds, alpha=spec.alpha,
+        )
+        for pid in range(n)
+    ]
+    sched = SynchronousScheduler(
+        procs, spec.f, adversary,
+        rng=np.random.default_rng(spec.seed),
+        max_rounds=rounds + 2,
+        topology=topo,
+    )
+    result = sched.run()
+    decisions = {
+        pid: np.asarray(v, dtype=float)
+        for pid, v in result.correct_decisions.items()
+    }
+    check_spec = ApproximateBVC(d, spec.f, epsilon=spec.epsilon)
+    # `rounds` LP steps each carry ~1e-8 feasibility slack; give the
+    # membership check matching headroom.
+    report = check_spec.check(
+        honest, decisions, terminated=result.completed,
+        tol=max(1e-7, 2e-8 * rounds),
+    )
+    return ConsensusOutcome(decisions, report, result, honest)
+
+
+def _handle_averaging(spec: RunSpec) -> ConsensusOutcome:
+    inputs, adversary, honest = _prep(spec.resolved_inputs(), spec.adversary)
+    n, d = inputs.shape
+    rounds = spec.rounds
+    if rounds is None:
+        spread = float(np.max(inputs.max(axis=0) - inputs.min(axis=0)))
+        # round-1 values can exceed the input hull by up to δ per side;
+        # bound δ crudely by the spread itself.
+        rounds = rounds_for_epsilon(
+            3.0 * max(spread, spec.epsilon), n, spec.f, spec.epsilon
+        )
+    procs = [
+        VerifiedAveragingProcess(
+            n, spec.f, pid, inputs[pid],
+            num_rounds=rounds, mode=spec.mode, delta=spec.delta, p=spec.p,
+        )
+        for pid in range(n)
+    ]
+    sched = AsyncScheduler(
+        procs, spec.f, adversary,
+        policy=spec.policy, rng=np.random.default_rng(spec.seed),
+        max_steps=spec.max_steps,
+    )
+    result = sched.run()
+    decisions = {
+        pid: np.asarray(v, dtype=float)
+        for pid, v in result.correct_decisions.items()
+    }
+    deltas = [
+        proc.delta_used
+        for pid, proc in sched.processes.items()
+        if pid not in adversary.faulty
+        and getattr(proc, "delta_used", None) is not None
+    ]
+    delta_used = max(deltas) if deltas else None
+    # Like "algo": the selected points sit exactly at distance δ from
+    # some subset hull, so the membership check needs solver-tolerance
+    # headroom beyond the achieved δ.
+    check_delta = (
+        delta_used * (1.0 + 1e-6) + 1e-9 if delta_used is not None else spec.delta
+    )
+    check_spec = DeltaPApproximateBVC(
+        d, spec.f, delta=check_delta, p=spec.p, epsilon=spec.epsilon
+    )
+    report = check_spec.check(honest, decisions, terminated=result.completed)
+    return ConsensusOutcome(decisions, report, result, honest, delta_used)
+
+
+_HANDLERS: dict[str, Callable[[RunSpec], ConsensusOutcome]] = {
+    "exact": _handle_exact,
+    "algo": _handle_algo,
+    "krelaxed": _handle_krelaxed,
+    "scalar": _handle_scalar,
+    "iterative": _handle_iterative,
+    "averaging": _handle_averaging,
+}
+
+assert set(_HANDLERS) == set(ALGORITHMS)
+
+
+def run(spec: RunSpec) -> ConsensusOutcome:
+    """Execute one :class:`~repro.core.runspec.RunSpec` end to end.
+
+    Dispatches on ``spec.algorithm``, builds the processes and scheduler,
+    runs to completion, and checks the decisions against the matching
+    problem spec.  When ``spec.metrics`` is given it is installed as the
+    ambient :class:`~repro.obs.metrics.MetricsRegistry` for the run.
+    """
+    handler = _HANDLERS[spec.algorithm]
+    if spec.metrics is not None:
+        with use_registry(spec.metrics):
+            return handler(spec)
+    return handler(spec)
+
+
+# ---------------------------------------------------------------------------
+# legacy entry points — thin forwarding shims over `run(RunSpec(...))`
+# ---------------------------------------------------------------------------
+
+
 def run_exact_bvc(
     inputs: np.ndarray,
     f: int,
@@ -138,17 +354,13 @@ def run_exact_bvc(
     seed: int = 0,
 ) -> ConsensusOutcome:
     """Synchronous exact BVC (Vaidya–Garg baseline; needs
-    ``n >= max(3f+1, (d+1)f+1)``)."""
-    d = np.atleast_2d(inputs).shape[1]
+    ``n >= max(3f+1, (d+1)f+1)``).
 
-    def make(
-        n: int, f_: int, pid: int, v: np.ndarray,
-        transport_: str, scheme: Optional[SignatureScheme],
-    ) -> SyncProcess:
-        return ExactBVCProcess(n, f_, pid, v, transport=transport_, scheme=scheme)
-
-    return _run_sync(make, inputs, f, adversary, ExactBVC(d, f),
-                     transport=transport, seed=seed)
+    .. deprecated:: Forwarding shim — prefer
+       ``run(RunSpec(algorithm="exact", ...))``.
+    """
+    return run(RunSpec(algorithm="exact", inputs=inputs, f=f,
+                       adversary=adversary, transport=transport, seed=seed))
 
 
 def run_algo(
@@ -167,36 +379,13 @@ def run_algo(
     ``check_delta`` sets the δ used by the validity checker; by default
     the checker uses the δ* the processes actually achieved, so the
     report verifies the algorithm's own claim.
+
+    .. deprecated:: Forwarding shim — prefer
+       ``run(RunSpec(algorithm="algo", ...))``.
     """
-    inputs2, adversary2, honest = _prep(inputs, adversary)
-    d = inputs2.shape[1]
-
-    def make(
-        n: int, f_: int, pid: int, v: np.ndarray,
-        transport_: str, scheme: Optional[SignatureScheme],
-    ) -> SyncProcess:
-        return AlgoProcess(
-            n, f_, pid, v, p=p, transport=transport_, scheme=scheme
-        )
-
-    # Run with a placeholder spec, then re-check against the achieved δ*.
-    outcome = _run_sync(
-        make, inputs2, f, adversary2, DeltaPExactBVC(d, f, delta=0.0, p=p),
-        transport=transport, seed=seed,
-    )
-    if check_delta is not None:
-        delta = check_delta
-    else:
-        # δ* is a strict minimum: the decision sits exactly at distance δ*
-        # from some subset hull, so the checker needs solver-tolerance
-        # headroom or re-measured distances tip it over by ~1e-7.
-        achieved = outcome.delta_used or 0.0
-        delta = achieved * (1.0 + 1e-6) + 1e-9
-    spec = DeltaPExactBVC(d, f, delta=delta, p=p)
-    outcome.report = spec.check(
-        honest, outcome.decisions, terminated=outcome.result.completed
-    )
-    return outcome
+    return run(RunSpec(algorithm="algo", inputs=inputs, f=f,
+                       adversary=adversary, p=p, transport=transport,
+                       seed=seed, check_delta=check_delta))
 
 
 def run_k_relaxed(
@@ -209,19 +398,13 @@ def run_k_relaxed(
     seed: int = 0,
 ) -> ConsensusOutcome:
     """Synchronous k-relaxed exact BVC (k = 1: ``n >= 3f+1``;
-    k >= 2: ``n >= (d+1)f+1``, Theorem 3)."""
-    d = np.atleast_2d(inputs).shape[1]
+    k >= 2: ``n >= (d+1)f+1``, Theorem 3).
 
-    def make(
-        n: int, f_: int, pid: int, v: np.ndarray,
-        transport_: str, scheme: Optional[SignatureScheme],
-    ) -> SyncProcess:
-        return KRelaxedProcess(
-            n, f_, pid, v, k=k, transport=transport_, scheme=scheme
-        )
-
-    return _run_sync(make, inputs, f, adversary, KRelaxedExactBVC(d, f, k=k),
-                     transport=transport, seed=seed)
+    .. deprecated:: Forwarding shim — prefer
+       ``run(RunSpec(algorithm="krelaxed", k=k, ...))``.
+    """
+    return run(RunSpec(algorithm="krelaxed", inputs=inputs, f=f, k=k,
+                       adversary=adversary, transport=transport, seed=seed))
 
 
 def run_scalar(
@@ -232,18 +415,13 @@ def run_scalar(
     transport: str = "eig",
     seed: int = 0,
 ) -> ConsensusOutcome:
-    """Synchronous exact scalar consensus (d = 1; ``n >= 3f+1``)."""
+    """Synchronous exact scalar consensus (d = 1; ``n >= 3f+1``).
 
-    def make(
-        n: int, f_: int, pid: int, v: np.ndarray,
-        transport_: str, scheme: Optional[SignatureScheme],
-    ) -> SyncProcess:
-        return ScalarConsensusProcess(
-            n, f_, pid, v, transport=transport_, scheme=scheme
-        )
-
-    return _run_sync(make, inputs, f, adversary, ExactBVC(1, f),
-                     transport=transport, seed=seed)
+    .. deprecated:: Forwarding shim — prefer
+       ``run(RunSpec(algorithm="scalar", ...))``.
+    """
+    return run(RunSpec(algorithm="scalar", inputs=inputs, f=f,
+                       adversary=adversary, transport=transport, seed=seed))
 
 
 def run_iterative(
@@ -263,39 +441,15 @@ def run_iterative(
     see :mod:`repro.core.iterative`.  ``topology`` defaults to the
     complete graph.  The outcome is checked as approximate BVC:
     ε-agreement plus validity in the hull of the honest *inputs*.
-    """
-    from ..system.topology import Topology, complete_topology
-    from .iterative import IterativeBVCProcess
 
-    inputs2, adversary2, honest = _prep(inputs, adversary)
-    n, d = inputs2.shape
-    topo: Topology = topology if topology is not None else complete_topology(n)
-    procs = [
-        IterativeBVCProcess(
-            n, f, pid, inputs2[pid],
-            topology=topo, num_rounds=num_rounds, alpha=alpha,
-        )
-        for pid in range(n)
-    ]
-    sched = SynchronousScheduler(
-        procs, f, adversary2,
-        rng=np.random.default_rng(seed),
-        max_rounds=num_rounds + 2,
-        topology=topo,
-    )
-    result = sched.run()
-    decisions = {
-        pid: np.asarray(v, dtype=float)
-        for pid, v in result.correct_decisions.items()
-    }
-    spec = ApproximateBVC(d, f, epsilon=epsilon)
-    # num_rounds LP steps each carry ~1e-8 feasibility slack; give the
-    # membership check matching headroom.
-    report = spec.check(
-        honest, decisions, terminated=result.completed,
-        tol=max(1e-7, 2e-8 * num_rounds),
-    )
-    return ConsensusOutcome(decisions, report, result, honest)
+    .. deprecated:: Forwarding shim — prefer
+       ``run(RunSpec(algorithm="iterative", rounds=..., ...))``
+       (``num_rounds`` is spelled ``rounds`` there).
+    """
+    return run(RunSpec(algorithm="iterative", inputs=inputs, f=f,
+                       adversary=adversary, topology=topology,
+                       rounds=num_rounds, alpha=alpha, epsilon=epsilon,
+                       seed=seed))
 
 
 def run_averaging(
@@ -320,43 +474,12 @@ def run_averaging(
     defaults to the contraction-bound estimate for ``epsilon`` computed
     from the *global* input spread (a simulation convenience — the full
     dynamic termination rule lives in the paper's reference [15]).
+
+    .. deprecated:: Forwarding shim — prefer
+       ``run(RunSpec(algorithm="averaging", rounds=..., ...))``
+       (``num_rounds`` is spelled ``rounds`` there).
     """
-    inputs2, adversary2, honest = _prep(inputs, adversary)
-    n, d = inputs2.shape
-    if num_rounds is None:
-        spread = float(np.max(inputs2.max(axis=0) - inputs2.min(axis=0)))
-        # round-1 values can exceed the input hull by up to δ per side;
-        # bound δ crudely by the spread itself.
-        num_rounds = rounds_for_epsilon(3.0 * max(spread, epsilon), n, f, epsilon)
-    procs = [
-        VerifiedAveragingProcess(
-            n, f, pid, inputs2[pid],
-            num_rounds=num_rounds, mode=mode, delta=delta, p=p,
-        )
-        for pid in range(n)
-    ]
-    sched = AsyncScheduler(
-        procs, f, adversary2,
-        policy=policy, rng=np.random.default_rng(seed), max_steps=max_steps,
-    )
-    result = sched.run()
-    decisions = {
-        pid: np.asarray(v, dtype=float)
-        for pid, v in result.correct_decisions.items()
-    }
-    deltas = [
-        proc.delta_used
-        for pid, proc in sched.processes.items()
-        if pid not in adversary2.faulty
-        and getattr(proc, "delta_used", None) is not None
-    ]
-    delta_used = max(deltas) if deltas else None
-    # Like run_algo: the selected points sit exactly at distance δ from
-    # some subset hull, so the membership check needs solver-tolerance
-    # headroom beyond the achieved δ.
-    check_delta = (
-        delta_used * (1.0 + 1e-6) + 1e-9 if delta_used is not None else delta
-    )
-    spec = DeltaPApproximateBVC(d, f, delta=check_delta, p=p, epsilon=epsilon)
-    report = spec.check(honest, decisions, terminated=result.completed)
-    return ConsensusOutcome(decisions, report, result, honest, delta_used)
+    return run(RunSpec(algorithm="averaging", inputs=inputs, f=f,
+                       adversary=adversary, epsilon=epsilon,
+                       rounds=num_rounds, mode=mode, delta=delta, p=p,
+                       policy=policy, seed=seed, max_steps=max_steps))

@@ -20,19 +20,16 @@ algorithms (correctly) refuse to produce counterexamples.
 
 from __future__ import annotations
 
+import math
+import multiprocessing
 from dataclasses import dataclass
 from typing import Callable, Mapping, Optional
 
 import numpy as np
 
 from ..core.problems import agreement_diameter
-from ..core.runner import (
-    ConsensusOutcome,
-    run_algo,
-    run_averaging,
-    run_exact_bvc,
-    run_k_relaxed,
-)
+from ..core.runner import ConsensusOutcome, run
+from ..core.runspec import RunSpec
 from .scenarios import (
     FaultClause,
     Scenario,
@@ -66,21 +63,25 @@ AVERAGING_EPSILON = 5e-2
 def _run_for(scenario: Scenario) -> ConsensusOutcome:
     inputs = scenario.inputs()
     adversary = build_adversary(scenario)
-    if scenario.algorithm == "exact":
-        return run_exact_bvc(inputs, scenario.f, adversary=adversary, seed=scenario.seed)
-    if scenario.algorithm == "algo":
-        return run_algo(inputs, scenario.f, adversary=adversary, seed=scenario.seed)
-    if scenario.algorithm == "k1":
-        return run_k_relaxed(inputs, scenario.f, 1, adversary=adversary, seed=scenario.seed)
-    assert scenario.algorithm == "averaging"
-    return run_averaging(
-        inputs,
-        scenario.f,
+    if scenario.algorithm == "averaging":
+        return run(RunSpec(
+            algorithm="averaging",
+            inputs=inputs,
+            f=scenario.f,
+            adversary=adversary,
+            epsilon=AVERAGING_EPSILON,
+            policy=build_policy(scenario),
+            seed=scenario.seed,
+        ))
+    # The explorer's "k1" is k-relaxed consensus at k=1.
+    algorithm = "krelaxed" if scenario.algorithm == "k1" else scenario.algorithm
+    return run(RunSpec(
+        algorithm=algorithm,
+        inputs=inputs,
+        f=scenario.f,
         adversary=adversary,
-        epsilon=AVERAGING_EPSILON,
-        policy=build_policy(scenario),
         seed=scenario.seed,
-    )
+    ))
 
 
 # ---------------------------------------------------------------------------
@@ -381,6 +382,25 @@ def sample_scenario(
     return scen
 
 
+#: Per-worker checker override, installed by the pool initializer (custom
+#: checkers would otherwise have to ride along with every pickled trial).
+_WORKER_CHECKERS: Optional[dict[str, CheckerFn]] = None
+
+
+def _worker_init(checkers: Optional[dict[str, CheckerFn]]) -> None:
+    global _WORKER_CHECKERS
+    _WORKER_CHECKERS = checkers
+
+
+def _explore_trial(
+    item: tuple[int, Scenario],
+) -> tuple[int, Optional[Violation]]:
+    """Pool work unit: run one pre-sampled scenario, keep its index."""
+    index, scenario = item
+    result = run_scenario(scenario, checkers=_WORKER_CHECKERS)
+    return index, (None if result.ok else violation_from(result))
+
+
 def explore(
     algorithm: str,
     trials: int = 50,
@@ -390,24 +410,48 @@ def explore(
     inject: Optional[str] = None,
     stop_on_first: bool = False,
     checkers: Optional[Mapping[str, CheckerFn]] = None,
+    workers: int = 1,
 ) -> list[Violation]:
     """Run ``trials`` sampled scenarios; return every invariant violation.
 
     Deterministic in ``(algorithm, trials, seed, input_scale, inject)``:
     trial *t* always runs the same scenario, and each violation's token
-    replays independently of the sweep that found it.
+    replays independently of the sweep that found it.  ``workers > 1``
+    fans the trials over a process pool: the master RNG is consumed
+    entirely by (serial) scenario sampling before any trial runs, and
+    violations are re-ordered by trial index, so the violation list is
+    identical to a serial sweep's regardless of worker count.  With
+    ``stop_on_first`` a parallel sweep still runs every trial but
+    returns only the first violation in trial order.
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
     master = np.random.default_rng(seed)
-    violations: list[Violation] = []
-    for _ in range(trials):
-        scenario = sample_scenario(
-            master, algorithm, input_scale=input_scale, inject=inject
-        )
-        result = run_scenario(scenario, checkers=checkers)
-        if not result.ok:
-            violations.append(violation_from(result))
-            if stop_on_first:
-                break
-    return violations
+    scenarios = [
+        sample_scenario(master, algorithm, input_scale=input_scale,
+                        inject=inject)
+        for _ in range(trials)
+    ]
+    if workers == 1 or trials == 1:
+        violations: list[Violation] = []
+        for scenario in scenarios:
+            result = run_scenario(scenario, checkers=checkers)
+            if not result.ok:
+                violations.append(violation_from(result))
+                if stop_on_first:
+                    break
+        return violations
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+    chunksize = max(1, math.ceil(trials / (workers * 4)))
+    init_checkers = dict(checkers) if checkers is not None else None
+    with ctx.Pool(processes=workers, initializer=_worker_init,
+                  initargs=(init_checkers,)) as pool:
+        pairs = list(pool.imap_unordered(
+            _explore_trial, list(enumerate(scenarios)), chunksize=chunksize
+        ))
+    pairs.sort(key=lambda pair: pair[0])
+    found = [violation for _, violation in pairs if violation is not None]
+    return found[:1] if (stop_on_first and found) else found

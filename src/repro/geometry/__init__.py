@@ -7,6 +7,15 @@ the relaxed hulls ``H_k`` and ``H_{(δ,p)}``, the hull-intersection operators
 geometry (Lemmas 11–15), and Radon/Tverberg partitions (§8).
 """
 
+from .cache import (
+    cache_disabled,
+    cache_enabled,
+    cache_stats,
+    cached_kernel,
+    clear_cache,
+    configure_cache,
+    set_cache_enabled,
+)
 from .distance import (
     HullProjection,
     convex_combination_weights,
@@ -86,7 +95,14 @@ __all__ = [
     "TverbergPartition",
     "affine_basis",
     "affine_dimension",
+    "cache_disabled",
+    "cache_enabled",
+    "cache_stats",
+    "cached_kernel",
+    "clear_cache",
     "close",
+    "configure_cache",
+    "set_cache_enabled",
     "convex_combination_weights",
     "delta_star",
     "distance_l1",

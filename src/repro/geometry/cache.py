@@ -1,0 +1,267 @@
+"""Canonical-key memoisation for the hot geometry kernels.
+
+The consensus algorithms re-solve identical geometric instances
+constantly: every process in a run broadcasts the same multiset ``S`` and
+then runs the same deterministic kernel on it, so an ``n``-process ALGO
+run performs ``n`` bit-identical ``δ*(S)`` solves, and the ``C(n, n-f)``
+subset loops of ``exact_bvc`` and ``averaging`` re-enumerate the same
+hull systems across rounds.  This module gives those kernels a
+process-local cache so the second and later solves are dictionary
+lookups.
+
+Keys
+----
+A cache key is built from the kernel name plus every argument, encoded
+canonically:
+
+* arrays are rounded to the :data:`~repro.geometry.tolerance.DELTA_ATOL`
+  grid (the same quantum the sanctioned float predicates use), with
+  ``-0.0`` normalised to ``+0.0``, then hashed as raw bytes together
+  with their shape — two inputs that the tolerance layer cannot tell
+  apart share an entry;
+* scalars use exact encodings (``float.hex`` for floats), since knobs
+  like ``delta``/``tol``/``p`` are passed-in values, not computed noise;
+* anything else (e.g. a ``probe`` callable) is *not* canonicalisable:
+  the call bypasses the cache entirely rather than guessing.
+
+Results are frozen before they are stored — returned arrays are
+read-only copies — so a caller mutating a result raises instead of
+silently poisoning every later hit.
+
+Observability
+-------------
+Hits and misses are counted on the ambient
+:class:`~repro.obs.metrics.MetricsRegistry` (``geometry.cache.hits`` /
+``geometry.cache.misses`` plus per-kernel ``geometry.cache.<name>.*``),
+so every ``RunResult.metrics`` reports its own hit rate.
+
+Determinism
+-----------
+The cache is per-process and the kernels are pure, so caching never
+changes a result — serial and parallel sweeps stay bit-identical (each
+worker simply warms its own cache).  Eviction clears the whole table
+(deterministic, like the verified-averaging selection cache) and the
+table is never iterated.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import replace
+from functools import wraps
+from typing import Any, Callable, Iterator, Optional, TypeVar, cast
+
+import numpy as np
+
+from ..obs import metrics as _obs
+from .tolerance import DELTA_ATOL
+
+__all__ = [
+    "CACHE_DECIMALS",
+    "cache_disabled",
+    "cache_enabled",
+    "cache_stats",
+    "cached_kernel",
+    "canonical_array_bytes",
+    "clear_cache",
+    "configure_cache",
+    "freeze_array",
+    "set_cache_enabled",
+]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+#: Decimal places of the canonical grid — ``10**-CACHE_DECIMALS`` equals
+#: :data:`~repro.geometry.tolerance.DELTA_ATOL`, the quantum below which
+#: the sanctioned comparisons treat values as equal.
+CACHE_DECIMALS = 12
+
+assert 10.0 ** (-CACHE_DECIMALS) == DELTA_ATOL  # repro: noqa[FLT001] — exact powers of ten
+
+
+def canonical_array_bytes(arr: Any) -> bytes:
+    """Canonical byte encoding of an array-like: tolerance grid + shape.
+
+    Rounds to the ``DELTA_ATOL`` grid and normalises ``-0.0`` so that any
+    two inputs the tolerance predicates would call equal map to the same
+    bytes.
+    """
+    a = np.asarray(arr, dtype=float)
+    q = np.round(a, CACHE_DECIMALS) + 0.0  # +0.0 folds -0.0 into +0.0
+    return repr(a.shape).encode() + b"|" + q.tobytes()
+
+
+def _encode_part(part: Any) -> Optional[bytes]:
+    """Encode one key part, or None when it is not canonicalisable."""
+    if part is None:
+        return b"N"
+    if isinstance(part, bool):
+        return b"T" if part else b"F"
+    if isinstance(part, (int, np.integer)):
+        return b"i" + str(int(part)).encode()
+    if isinstance(part, (float, np.floating)):
+        return b"x" + float(part).hex().encode()
+    if isinstance(part, str):
+        return b"s" + part.encode()
+    if isinstance(part, np.ndarray):
+        return b"a" + canonical_array_bytes(part)
+    if isinstance(part, (tuple, list)):
+        encoded = []
+        for item in part:
+            enc = _encode_part(item)
+            if enc is None:
+                return None
+            encoded.append(enc)
+        return b"(" + b",".join(encoded) + b")"
+    return None
+
+
+def _encode_key(name: str, args: tuple, kwargs: dict[str, Any]) -> Optional[bytes]:
+    parts = [name.encode()]
+    for a in args:
+        enc = _encode_part(a)
+        if enc is None:
+            return None
+        parts.append(enc)
+    for k in sorted(kwargs):
+        enc = _encode_part(kwargs[k])
+        if enc is None:
+            return None
+        parts.append(k.encode() + b"=" + enc)
+    return b";".join(parts)
+
+
+def freeze_array(a: np.ndarray) -> np.ndarray:
+    """Read-only copy of ``a`` — safe to hand to every future hit."""
+    out = np.array(a, dtype=float, copy=True)
+    out.setflags(write=False)
+    return out
+
+
+def _freeze_result(value: Any) -> Any:
+    """Make a kernel result safe to share across cache hits.
+
+    Arrays become read-only copies; frozen dataclasses carrying arrays
+    (``DeltaStarResult``, ``TverbergPartition``, ``RadonPartition``) are
+    rebuilt around read-only arrays; scalars/None pass through.
+    """
+    if value is None:
+        return None
+    if isinstance(value, np.ndarray):
+        return freeze_array(value)
+    if isinstance(value, tuple):
+        return tuple(_freeze_result(v) for v in value)
+    frozen_fields = {}
+    for attr in ("point", "distances"):
+        field = getattr(value, attr, None)
+        if isinstance(field, np.ndarray):
+            frozen_fields[attr] = freeze_array(field)
+    if frozen_fields:
+        return replace(value, **frozen_fields)
+    return value
+
+
+class _GeometryCache:
+    """Bounded dict cache; eviction clears the whole table (deterministic)."""
+
+    def __init__(self, max_entries: int = 8192) -> None:
+        self.max_entries = max_entries
+        self._store: dict[bytes, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: bytes) -> tuple[bool, Any]:
+        if key in self._store:
+            self.hits += 1
+            return True, self._store[key]
+        self.misses += 1
+        return False, None
+
+    def store(self, key: bytes, value: Any) -> None:
+        if len(self._store) >= self.max_entries:
+            self._store.clear()
+        self._store[key] = value
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+_CACHE = _GeometryCache()
+_ENABLED = True
+
+
+def cache_enabled() -> bool:
+    """Whether the geometry cache is active in this process."""
+    return _ENABLED
+
+
+def set_cache_enabled(enabled: bool) -> bool:
+    """Turn the process-wide cache on or off; returns the previous state."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def cache_disabled() -> Iterator[None]:
+    """Scope with the cache off — for un-memoised reference runs in tests."""
+    previous = set_cache_enabled(False)
+    try:
+        yield
+    finally:
+        set_cache_enabled(previous)
+
+
+def clear_cache() -> None:
+    """Drop every stored entry (hit/miss totals are kept)."""
+    _CACHE.clear()
+
+
+def configure_cache(max_entries: int) -> None:
+    """Resize the table (clears it; the bound keeps memory O(1) per worker)."""
+    if max_entries < 1:
+        raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+    _CACHE.max_entries = max_entries
+    _CACHE.clear()
+
+
+def cache_stats() -> dict[str, int]:
+    """Process-lifetime totals: hits, misses, and current entry count."""
+    return {"hits": _CACHE.hits, "misses": _CACHE.misses, "entries": len(_CACHE)}
+
+
+def cached_kernel(name: str) -> Callable[[F], F]:
+    """Decorator memoising a pure geometry kernel under canonical keys.
+
+    ``name`` labels the per-kernel hit/miss counters.  Calls whose
+    arguments cannot be canonically encoded (callables, arbitrary
+    objects) run the kernel directly, uncounted.  The undecorated kernel
+    stays reachable as ``fn.__wrapped__`` for reference comparisons.
+    """
+
+    def deco(fn: F) -> F:
+        @wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if not _ENABLED:
+                return fn(*args, **kwargs)
+            key = _encode_key(name, args, kwargs)
+            if key is None:
+                return fn(*args, **kwargs)
+            hit, value = _CACHE.lookup(key)
+            if hit:
+                _obs.inc("geometry.cache.hits")
+                _obs.inc(f"geometry.cache.{name}.hits")
+                return value
+            _obs.inc("geometry.cache.misses")
+            _obs.inc(f"geometry.cache.{name}.misses")
+            value = _freeze_result(fn(*args, **kwargs))
+            _CACHE.store(key, value)
+            return value
+
+        return cast(F, wrapper)
+
+    return deco

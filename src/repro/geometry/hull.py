@@ -22,6 +22,7 @@ from scipy.spatial import ConvexHull as _QhullConvexHull
 from scipy.spatial import QhullError
 
 from ..obs import metrics as _obs
+from .cache import cached_kernel
 from .distance import HullProjection, distance_linf, distance_to_hull, in_hull
 from .norms import max_edge_length, min_edge_length
 from .tolerance import near_zero
@@ -33,6 +34,7 @@ PNorm = Union[float, int]
 _RANK_TOL = 1e-9
 
 
+@cached_kernel("affine_basis")
 def affine_basis(points: np.ndarray, tol: float = _RANK_TOL) -> tuple[np.ndarray, np.ndarray]:
     """Orthonormal basis of the affine hull of ``points``.
 
@@ -40,6 +42,9 @@ def affine_basis(points: np.ndarray, tol: float = _RANK_TOL) -> tuple[np.ndarray
     orthonormal rows spanning the affine hull directions; ``k`` is the
     affine dimension.  Every point satisfies
     ``point ~= origin + basis.T @ coords`` for some ``coords``.
+
+    Memoised per process (the SVD repeats across the ``Hull`` objects
+    that every subset-enumeration loop rebuilds over the same points).
     """
     pts = np.atleast_2d(np.asarray(points, dtype=float))
     origin = pts[0]

@@ -42,6 +42,7 @@ from typing import Iterable, Optional, Sequence, Union
 import numpy as np
 from scipy.optimize import linprog
 
+from .cache import cached_kernel
 from .norms import validate_p
 from .projection import enumerate_coordinate_subsets, project_multiset
 from .tolerance import near_zero, norm_order_is
@@ -317,8 +318,13 @@ def intersect_hulls(point_sets: Iterable[np.ndarray]) -> bool:
     return intersection_point(point_sets) is not None
 
 
+@cached_kernel("intersection_point")
 def intersection_point(point_sets: Iterable[np.ndarray]) -> Optional[np.ndarray]:
-    """A deterministic point of ``∩_i H(A_i)``, or None when empty."""
+    """A deterministic point of ``∩_i H(A_i)``, or None when empty.
+
+    Memoised per process under canonical keys (only when ``point_sets``
+    is a concrete list/tuple of arrays; generators bypass the cache).
+    """
     sets = [np.atleast_2d(np.asarray(A, dtype=float)) for A in point_sets]
     if not sets:
         raise ValueError("need at least one hull")
@@ -336,8 +342,14 @@ def gamma(Y: np.ndarray, f: int) -> bool:
     return gamma_point(Y, f) is not None
 
 
+@cached_kernel("gamma_point")
 def gamma_point(Y: np.ndarray, f: int) -> Optional[np.ndarray]:
-    """Deterministic point of ``Γ(Y)``, or None when ``Γ(Y)`` is empty."""
+    """Deterministic point of ``Γ(Y)``, or None when ``Γ(Y)`` is empty.
+
+    Memoised per process (see :mod:`repro.geometry.cache`): every correct
+    process of a run solves the same ``Γ(S)`` instance, so all but the
+    first solve are lookups.
+    """
     Y = np.atleast_2d(np.asarray(Y, dtype=float))
     n = Y.shape[0]
     sys_ = _HullSystem(Y.shape[1])
@@ -355,8 +367,9 @@ def psi_k(Y: np.ndarray, f: int, k: int) -> bool:
     return psi_k_point(Y, f, k) is not None
 
 
+@cached_kernel("psi_k_point")
 def psi_k_point(Y: np.ndarray, f: int, k: int) -> Optional[np.ndarray]:
-    """Deterministic point of ``Ψ(Y)``, or None when empty.
+    """Deterministic point of ``Ψ(Y)``, or None when empty (memoised).
 
     Encodes every (D, T) cylinder constraint into one joint LP:
     for each ``D ∈ D_k`` and each size ``|Y|-f`` subset ``T``,
@@ -397,10 +410,11 @@ def gamma_delta_p(S: np.ndarray, f: int, delta: float, p: PNorm) -> bool:
     return delta_star(S, f, p=p).value <= delta + 1e-9
 
 
+@cached_kernel("gamma_delta_p_point")
 def gamma_delta_p_point(
     S: np.ndarray, f: int, delta: float, p: PNorm
 ) -> Optional[np.ndarray]:
-    """Deterministic point of ``Γ_{(δ,p)}(S)``, or None when empty.
+    """Deterministic point of ``Γ_{(δ,p)}(S)``, or None when empty (memoised).
 
     For ``p ∈ {1, inf}`` (and for ``δ = 0`` at any ``p``) this is exact via
     LP.  For ``p = 2`` and other finite ``p`` the min-max optimiser supplies

@@ -48,6 +48,7 @@ from scipy.optimize import linprog
 
 from ..obs import metrics as _obs
 from ..obs.tracer import trace_span
+from .cache import cached_kernel
 from .distance import distance_to_hull
 from .intersections import f_subsets, gamma_point
 from .norms import lp_norm, validate_p
@@ -385,6 +386,7 @@ def delta_star(
     return result
 
 
+@cached_kernel("delta_star")
 def _delta_star_solve(
     S: np.ndarray,
     n: int,
@@ -394,6 +396,9 @@ def _delta_star_solve(
     tol: float,
     max_iter: int,
 ) -> DeltaStarResult:
+    # Memoised under canonical keys (repro.geometry.cache): the solve is
+    # wrapped, not delta_star itself, so call counters and trace spans
+    # stay live per caller while repeated instances skip the solvers.
     # δ = 0 fast path: Γ(S) nonempty means no relaxation is needed at all
     # (e.g. Theorem 8's affinely-dependent inputs, or n >= (d+1)f + 1).
     g0 = gamma_point(S, f)

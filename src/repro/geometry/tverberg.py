@@ -33,6 +33,7 @@ from typing import Any, Callable, Iterator, Optional, Sequence, Union
 import numpy as np
 
 from ..obs import metrics as _obs
+from .cache import cached_kernel
 from .intersections import intersection_point
 from .relaxed import DeltaPHull, KRelaxedHull
 from .tolerance import near_zero, norm_order_is
@@ -189,26 +190,36 @@ def partition_intersection_nonempty(
     raise ValueError(f"unknown hull_kind {hull_kind!r}")
 
 
+@cached_kernel("tverberg_partition")
+def _tverberg_search(
+    pts: np.ndarray, r: int, hull_kind: str, **kwargs: Any
+) -> Optional[TverbergPartition]:
+    """Exhaustive canonical-order search (memoised; a ``probe`` callable
+    in ``kwargs`` is not canonicalisable and bypasses the cache)."""
+    reg = _obs.current_registry()
+    for parts in iter_set_partitions(pts.shape[0], r):
+        reg.inc("geometry.tverberg.partitions_checked")
+        point = partition_intersection_nonempty(pts, parts, hull_kind, **kwargs)
+        if point is not None:
+            return TverbergPartition(parts, point)
+    return None
+
+
 def tverberg_partition(
     points: np.ndarray, r: int, hull_kind: str = "convex", **kwargs: Any
 ) -> Optional[TverbergPartition]:
     """First Tverberg partition of ``points`` into ``r`` parts, or None.
 
     Exhaustive search in canonical partition order; deterministic for a
-    given input.
+    given input.  The search itself is memoised per process (the call
+    counter and wall-time histogram stay live per caller).
     """
     pts = np.atleast_2d(np.asarray(points, dtype=float))
-    n = pts.shape[0]
     reg = _obs.current_registry()
     reg.inc("geometry.tverberg.calls")
     t0 = time.perf_counter()
     try:
-        for parts in iter_set_partitions(n, r):
-            reg.inc("geometry.tverberg.partitions_checked")
-            point = partition_intersection_nonempty(pts, parts, hull_kind, **kwargs)
-            if point is not None:
-                return TverbergPartition(parts, point)
-        return None
+        return _tverberg_search(pts, r, hull_kind, **kwargs)
     finally:
         reg.observe("geometry.tverberg.seconds", time.perf_counter() - t0)
 

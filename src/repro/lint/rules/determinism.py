@@ -6,9 +6,10 @@ replayed modules flows from the scenario's seeded
 ``np.random.Generator`` and no code path consults wall-clock time or
 iterates a ``set`` in hash order (string hashing is salted per process,
 so set order varies across runs).  These rules fence off the modules the
-replay corpus covers — ``core/``, ``system/``, ``dst/`` — plus the
-``benchmarks/`` and ``examples/`` trees, whose trajectories must stay
-comparable across machines.
+replay corpus covers — ``core/``, ``system/``, ``dst/``, ``exec/`` (the
+sweep engine's serial-vs-parallel bit-identity contract is a determinism
+guarantee) — plus the ``benchmarks/`` and ``examples/`` trees, whose
+trajectories must stay comparable across machines.
 
 Rules
 -----
@@ -34,7 +35,7 @@ from .common import call_dotted_name, dotted_name
 
 __all__ = ["StdlibRandom", "WallClock", "UnseededRng", "SetIteration"]
 
-_SCOPES = ("core/", "system/", "dst/", "benchmarks/", "examples/")
+_SCOPES = ("core/", "system/", "dst/", "exec/", "benchmarks/", "examples/")
 
 _WALL_CLOCK = frozenset(
     {

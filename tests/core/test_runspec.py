@@ -1,0 +1,175 @@
+"""RunSpec: validation, input derivation, and shim equivalence.
+
+The six legacy ``run_*`` entry points are now thin forwarders onto
+``run(RunSpec(...))``; the equivalence tests here pin that forwarding —
+same decisions (to the bit), same verdicts, same δ — for every
+algorithm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ALGORITHMS,
+    RunSpec,
+    run,
+    run_algo,
+    run_averaging,
+    run_exact_bvc,
+    run_iterative,
+    run_k_relaxed,
+    run_scalar,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.system.adversary import Adversary, SilentStrategy
+
+
+def outcomes_equal(a, b) -> bool:
+    """Bit-level equality of two ConsensusOutcomes."""
+    if sorted(a.decisions) != sorted(b.decisions):
+        return False
+    for pid in a.decisions:
+        if not np.array_equal(a.decisions[pid], b.decisions[pid]):
+            return False
+    return (
+        a.report == b.report
+        and a.delta_used == b.delta_used
+        and np.array_equal(a.honest_inputs, b.honest_inputs)
+        and a.result.rounds == b.result.rounds
+    )
+
+
+class TestRunSpecValidation:
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            RunSpec(algorithm="nope", n=4, d=2)
+
+    def test_all_algorithm_names_accepted(self):
+        for name in ALGORITHMS:
+            spec = RunSpec(algorithm=name, n=5, d=1)
+            assert spec.algorithm == name
+
+    def test_needs_inputs_or_shape(self):
+        with pytest.raises(ValueError, match="either inputs or both"):
+            RunSpec(algorithm="algo")
+        with pytest.raises(ValueError, match="either inputs or both"):
+            RunSpec(algorithm="algo", n=4)
+
+    def test_shape_consistency_checked(self, rng):
+        inputs = rng.normal(size=(4, 2))
+        spec = RunSpec(algorithm="algo", inputs=inputs, n=4, d=2)
+        assert (spec.n, spec.d) == (4, 2)
+        with pytest.raises(ValueError, match="disagrees"):
+            RunSpec(algorithm="algo", inputs=inputs, n=5)
+        with pytest.raises(ValueError, match="disagrees"):
+            RunSpec(algorithm="algo", inputs=inputs, d=3)
+
+    def test_scalar_requires_d1(self):
+        with pytest.raises(ValueError, match="scalar"):
+            RunSpec(algorithm="scalar", n=4, d=2)
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError, match="f must be"):
+            RunSpec(algorithm="algo", n=4, d=2, f=-1)
+        with pytest.raises(ValueError, match="k must be"):
+            RunSpec(algorithm="algo", n=4, d=2, k=0)
+        with pytest.raises(ValueError, match="delta must be"):
+            RunSpec(algorithm="algo", n=4, d=2, delta=-0.1)
+        with pytest.raises(ValueError, match="epsilon must be"):
+            RunSpec(algorithm="algo", n=4, d=2, epsilon=0.0)
+        with pytest.raises(ValueError, match="rounds must be"):
+            RunSpec(algorithm="iterative", n=4, d=2, rounds=0)
+
+    def test_inputs_frozen_readonly(self, rng):
+        raw = rng.normal(size=(4, 2))
+        spec = RunSpec(algorithm="algo", inputs=raw)
+        with pytest.raises(ValueError):
+            spec.inputs[0, 0] = 99.0
+        # and it is a copy: mutating the caller's array cannot leak in
+        raw[0, 0] = 99.0
+        assert spec.inputs[0, 0] != 99.0
+
+    def test_resolved_inputs_derivation(self):
+        spec = RunSpec(algorithm="algo", n=5, d=3, seed=42, input_scale=2.0)
+        expected = np.random.default_rng(42).normal(scale=2.0, size=(5, 3))
+        np.testing.assert_array_equal(spec.resolved_inputs(), expected)
+        # explicit inputs win
+        pinned = spec.with_inputs(np.zeros((4, 2)))
+        assert pinned.resolved_inputs().shape == (4, 2)
+        assert (pinned.n, pinned.d) == (4, 2)
+
+    def test_describe_is_plain_data(self, rng):
+        spec = RunSpec(algorithm="algo", inputs=rng.normal(size=(4, 2)),
+                       adversary=Adversary(faulty=[3]),
+                       metrics=MetricsRegistry())
+        desc = spec.describe()
+        assert desc["inputs"] == [4, 2]
+        assert desc["adversary"] == "Adversary"
+        assert desc["metrics"] == "MetricsRegistry"
+        assert desc["algorithm"] == "algo"
+
+
+class TestShimEquivalence:
+    """Each legacy entry point == run(RunSpec(...)), bit for bit."""
+
+    def test_exact(self, rng):
+        inputs = rng.normal(size=(5, 2))
+        adv = Adversary(faulty=[4])
+        legacy = run_exact_bvc(inputs, f=1, adversary=adv, seed=3)
+        spec = run(RunSpec(algorithm="exact", inputs=inputs, f=1,
+                           adversary=adv, seed=3))
+        assert outcomes_equal(legacy, spec)
+
+    def test_algo(self, rng):
+        inputs = rng.normal(size=(4, 3))
+        adv = Adversary(faulty=[3], strategy=SilentStrategy())
+        legacy = run_algo(inputs, f=1, adversary=adv, seed=1)
+        spec = run(RunSpec(algorithm="algo", inputs=inputs, f=1,
+                           adversary=adv, seed=1))
+        assert outcomes_equal(legacy, spec)
+
+    def test_k_relaxed(self, rng):
+        inputs = rng.normal(size=(4, 4))
+        legacy = run_k_relaxed(inputs, f=1, k=1, seed=2)
+        spec = run(RunSpec(algorithm="krelaxed", inputs=inputs, f=1, k=1,
+                           seed=2))
+        assert outcomes_equal(legacy, spec)
+
+    def test_scalar(self, rng):
+        inputs = rng.normal(size=(4, 1))
+        legacy = run_scalar(inputs, f=1, seed=4)
+        spec = run(RunSpec(algorithm="scalar", inputs=inputs, f=1, seed=4))
+        assert outcomes_equal(legacy, spec)
+
+    def test_iterative(self, rng):
+        inputs = rng.normal(size=(6, 2))
+        legacy = run_iterative(inputs, f=1, num_rounds=15, epsilon=1e-2,
+                               seed=5)
+        spec = run(RunSpec(algorithm="iterative", inputs=inputs, f=1,
+                           rounds=15, epsilon=1e-2, seed=5))
+        assert outcomes_equal(legacy, spec)
+
+    def test_averaging(self, rng):
+        inputs = rng.normal(size=(4, 2))
+        adv = Adversary(faulty=[3], strategy=SilentStrategy())
+        legacy = run_averaging(inputs, f=1, adversary=adv, epsilon=5e-2,
+                               seed=6)
+        spec = run(RunSpec(algorithm="averaging", inputs=inputs, f=1,
+                           adversary=adv, epsilon=5e-2, seed=6))
+        assert outcomes_equal(legacy, spec)
+
+    def test_shims_carry_deprecation_note(self):
+        for shim in (run_exact_bvc, run_algo, run_k_relaxed, run_scalar,
+                     run_iterative, run_averaging):
+            assert "deprecated" in (shim.__doc__ or "")
+
+
+class TestMetricsInstall:
+    def test_spec_registry_receives_run_metrics(self, rng):
+        reg = MetricsRegistry()
+        out = run(RunSpec(algorithm="algo", inputs=rng.normal(size=(4, 2)),
+                          f=1, metrics=reg))
+        assert out.metrics is reg
+        assert reg.counter_value("net.messages_sent") > 0

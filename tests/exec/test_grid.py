@@ -1,0 +1,113 @@
+"""Grid expansion, seed derivation, and the adversary registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec import (
+    ADVERSARIES,
+    SweepGrid,
+    build_adversary,
+    build_runspec,
+    derive_trial_seed,
+    min_trial_size,
+)
+from repro.system.adversary import Adversary
+
+
+class TestSeedDerivation:
+    def test_deterministic(self):
+        a = derive_trial_seed(0, "algo", 4, 2, 1, "none", 0)
+        b = derive_trial_seed(0, "algo", 4, 2, 1, "none", 0)
+        assert a == b
+
+    def test_every_coordinate_matters(self):
+        base = derive_trial_seed(0, "algo", 4, 2, 1, "none", 0)
+        variants = [
+            derive_trial_seed(1, "algo", 4, 2, 1, "none", 0),
+            derive_trial_seed(0, "exact", 4, 2, 1, "none", 0),
+            derive_trial_seed(0, "algo", 5, 2, 1, "none", 0),
+            derive_trial_seed(0, "algo", 4, 3, 1, "none", 0),
+            derive_trial_seed(0, "algo", 4, 2, 2, "none", 0),
+            derive_trial_seed(0, "algo", 4, 2, 1, "silent", 0),
+            derive_trial_seed(0, "algo", 4, 2, 1, "none", 1),
+        ]
+        assert base not in variants
+        assert len(set(variants)) == len(variants)
+
+    def test_nonnegative_and_seedable(self):
+        import numpy as np
+
+        seed = derive_trial_seed(0, "averaging", 4, 2, 1, "crash", 3)
+        assert seed >= 0
+        np.random.default_rng(seed)  # must be accepted
+
+
+class TestAdversaries:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown adversary"):
+            build_adversary("tricky", 4, 1)
+
+    def test_none_and_f0_give_no_adversary(self):
+        assert build_adversary("none", 4, 1) is None
+        for name in ADVERSARIES:
+            assert build_adversary(name, 4, 0) is None
+
+    def test_byzantine_factories_corrupt_f_suffix(self):
+        for name in ("honest", "silent", "crash", "mutate", "equivocate",
+                     "duplicate"):
+            adv = build_adversary(name, 5, 2)
+            assert isinstance(adv, Adversary)
+            assert adv.is_faulty(3) and adv.is_faulty(4)
+            assert not adv.is_faulty(0)
+
+
+class TestGridExpansion:
+    def test_deterministic_order(self):
+        grid = SweepGrid(algorithms=("algo", "exact"), dimensions=(2, 3),
+                         adversaries=("none", "silent"), reps=2)
+        a, skipped_a = grid.trials()
+        b, skipped_b = grid.trials()
+        assert a == b and skipped_a == skipped_b
+        assert [t.index for t in a] == list(range(len(a)))
+
+    def test_default_sizes_use_floor(self):
+        grid = SweepGrid(algorithms=("exact",), dimensions=(3,), faults=(1,))
+        trials, _ = grid.trials()
+        assert all(t.n == min_trial_size("exact", 3, 1) for t in trials)
+
+    def test_undersized_cells_skipped(self):
+        floor = min_trial_size("exact", 3, 1)  # (d+1)f+1 = 5
+        grid = SweepGrid(algorithms=("exact",), dimensions=(3,),
+                         sizes=(floor - 1, floor))
+        trials, skipped = grid.trials()
+        assert skipped == 1
+        assert all(t.n == floor for t in trials)
+
+    def test_scalar_skips_vector_dimensions(self):
+        grid = SweepGrid(algorithms=("scalar",), dimensions=(1, 2, 3))
+        trials, skipped = grid.trials()
+        assert skipped == 2
+        assert all(t.d == 1 for t in trials)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            SweepGrid(algorithms=("nope",))
+        with pytest.raises(ValueError, match="unknown adversary"):
+            SweepGrid(adversaries=("nope",))
+        with pytest.raises(ValueError, match="reps"):
+            SweepGrid(reps=0)
+
+    def test_build_runspec_materialises_cell(self):
+        grid = SweepGrid(algorithms=("krelaxed",), dimensions=(2,), k=1,
+                         adversaries=("silent",), reps=1)
+        trials, _ = grid.trials()
+        spec = build_runspec(trials[0])
+        assert spec.algorithm == "krelaxed"
+        assert (spec.n, spec.d, spec.f) == (trials[0].n, 2, 1)
+        assert spec.seed == trials[0].seed
+        assert spec.adversary is not None
+
+    def test_min_trial_size_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            min_trial_size("nope", 2, 1)

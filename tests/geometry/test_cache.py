@@ -1,0 +1,170 @@
+"""The canonical-key geometry cache: correctness, counters, controls.
+
+The cache may only ever change *time*: every memoized kernel must return
+a value that agrees with the uncached computation (reached through
+``__wrapped__``) under the repo's tolerance predicates — in fact bitwise,
+since the stored value IS the first computed value — and its results
+must be immutable so a caller mutation cannot poison later hits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import delta_star, gamma_point, tverberg_partition
+from repro.geometry.cache import (
+    CACHE_DECIMALS,
+    cache_disabled,
+    cache_enabled,
+    cache_stats,
+    cached_kernel,
+    canonical_array_bytes,
+    clear_cache,
+    configure_cache,
+    set_cache_enabled,
+)
+from repro.geometry.hull import affine_basis
+from repro.geometry.intersections import intersection_point
+from repro.geometry.tolerance import DELTA_ATOL, close
+from repro.obs.metrics import MetricsRegistry, use_registry
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestCanonicalKeys:
+    def test_rounding_matches_tolerance_atol(self):
+        assert 10.0 ** (-CACHE_DECIMALS) == DELTA_ATOL  # repro: noqa[FLT001]
+
+    def test_negative_zero_folded(self):
+        a = np.array([[0.0, -0.0]])
+        b = np.array([[-0.0, 0.0]])
+        assert canonical_array_bytes(a) == canonical_array_bytes(b)
+
+    def test_shape_disambiguates(self):
+        a = np.zeros((2, 3))
+        b = np.zeros((3, 2))
+        assert canonical_array_bytes(a) != canonical_array_bytes(b)
+
+    def test_points_within_atol_share_a_key(self):
+        S = np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 0.0]])
+        jitter = S + 0.49 * DELTA_ATOL  # rounds to the same 12 decimals
+        assert canonical_array_bytes(S) == canonical_array_bytes(jitter)
+
+
+class TestCacheCorrectness:
+    def test_delta_star_hit_agrees_with_uncached(self, rng):
+        S = rng.normal(size=(5, 3))
+        first = delta_star(S, 1)
+        second = delta_star(S, 1)  # served from cache
+        with cache_disabled():
+            cold = delta_star(S, 1)
+        assert close(first.value, second.value)
+        assert close(first.value, cold.value)
+        assert np.array_equal(first.point, second.point)
+        np.testing.assert_array_equal(cold.point, first.point)
+
+    def test_gamma_point_hit_is_bitwise_stable(self, rng):
+        Y = rng.normal(size=(5, 2))
+        a = gamma_point(Y, 1)
+        b = gamma_point(Y, 1)
+        assert a is not None and np.array_equal(a, b)
+        with cache_disabled():
+            c = gamma_point(Y, 1)
+        np.testing.assert_array_equal(a, c)
+
+    def test_wrapped_bypasses_cache(self, rng):
+        """__wrapped__ is the raw kernel — used here to prove agreement."""
+        Y = [rng.normal(size=(4, 2)) for _ in range(2)]
+        cached = intersection_point(Y)
+        raw = intersection_point.__wrapped__(Y)
+        assert (cached is None) == (raw is None)
+        if cached is not None:
+            np.testing.assert_array_equal(cached, raw)
+
+    def test_tverberg_cached_result_matches(self, rng):
+        pts = rng.normal(size=(4, 1))
+        first = tverberg_partition(pts, 2)
+        again = tverberg_partition(pts, 2)
+        assert first is not None and again is not None
+        assert first.parts == again.parts
+        assert np.array_equal(first.point, again.point)
+
+    def test_results_are_readonly(self, rng):
+        S = rng.normal(size=(5, 2))
+        point = gamma_point(S, 1)
+        assert point is not None
+        with pytest.raises(ValueError):
+            point[0] = 1e9
+        origin, basis = affine_basis(S)
+        with pytest.raises(ValueError):
+            origin[0] = 1e9
+        with pytest.raises(ValueError):
+            basis[0, 0] = 1e9
+
+
+class TestCounters:
+    def test_hits_and_misses_counted(self, rng):
+        S = rng.normal(size=(5, 2))
+        before = cache_stats()
+        gamma_point(S, 1)
+        mid = cache_stats()
+        assert mid["misses"] == before["misses"] + 1
+        gamma_point(S, 1)
+        after = cache_stats()
+        assert after["hits"] == mid["hits"] + 1
+
+    def test_obs_registry_counters(self, rng):
+        S = rng.normal(size=(5, 2))
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            gamma_point(S, 1)
+            gamma_point(S, 1)
+        assert reg.counter_value("geometry.cache.misses") == 1
+        assert reg.counter_value("geometry.cache.hits") == 1
+        assert reg.counter_value("geometry.cache.gamma_point.hits") == 1
+
+
+class TestControls:
+    def test_cache_disabled_context(self, rng):
+        S = rng.normal(size=(5, 2))
+        gamma_point(S, 1)
+        stats = cache_stats()
+        with cache_disabled():
+            assert not cache_enabled()
+            gamma_point(S, 1)
+        assert cache_enabled()
+        # no lookup happened inside the context
+        assert cache_stats()["hits"] == stats["hits"]
+
+    def test_set_cache_enabled_returns_previous(self):
+        prev = set_cache_enabled(False)
+        assert prev is True
+        assert set_cache_enabled(prev) is False
+        assert cache_enabled()
+
+    def test_overflow_clears_table(self, rng):
+        configure_cache(max_entries=2)
+        try:
+            for i in range(4):
+                gamma_point(rng.normal(size=(4, 2)) + i, 1)
+            assert cache_stats()["entries"] <= 2
+        finally:
+            configure_cache(max_entries=8192)
+
+    def test_unhashable_args_bypass(self, rng):
+        @cached_kernel("test_probe_kernel")
+        def probed(S: np.ndarray, probe: object) -> float:
+            return float(S.sum())
+
+        S = rng.normal(size=(3, 2))
+        before = cache_stats()
+        assert probed(S, lambda: None) == probed(S, lambda: None)
+        after = cache_stats()
+        # callables cannot be canonicalised -> neither hit nor miss
+        assert after == before

@@ -212,3 +212,58 @@ class TestTrace:
                      "demo", "--d", "3"])
         assert code == 2
         assert "cannot write trace" in capsys.readouterr().err
+
+
+class TestSweep:
+    """The parallel sweep engine exposed as `python -m repro sweep`."""
+
+    TINY = ["sweep", "--algorithms", "algo", "--d", "2", "--f", "1",
+            "--adversaries", "none,silent", "--reps", "2", "--seed", "7"]
+
+    def test_basic_sweep_exits_zero(self, capsys):
+        assert main(self.TINY) == 0
+        out = capsys.readouterr().out
+        assert "4 trials" in out
+        assert "geometry cache" in out
+
+    def test_compare_asserts_bit_identity(self, capsys):
+        assert main(self.TINY + ["--compare", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "serial/parallel decisions identical: True" in out
+
+    def test_out_writes_sweep_json(self, tmp_path, capsys):
+        from repro.exec import SweepResult
+
+        path = tmp_path / "BENCH_sweep.json"
+        assert main(self.TINY + ["--out", str(path)]) == 0
+        result = SweepResult.load(str(path))
+        assert result.trial_count == 4
+        assert all(t.ok for t in result.trials)
+
+    def test_compare_out_writes_document(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "cmp.json"
+        assert main(self.TINY + ["--compare", "--workers", "2",
+                                 "--out", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["identical"] is True
+        assert doc["decisions_digest"]["serial"] == \
+            doc["decisions_digest"]["parallel"]
+
+    def test_no_cache_flag(self, capsys):
+        from repro.geometry import set_cache_enabled
+
+        try:
+            assert main(self.TINY + ["--no-cache"]) == 0
+        finally:
+            set_cache_enabled(True)
+
+    def test_bad_algorithm_exits_two(self, capsys):
+        code = main(["sweep", "--algorithms", "bogus"])
+        assert code == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_bad_int_list_exits_two(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--d", "2,x"])
