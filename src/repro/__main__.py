@@ -268,7 +268,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         summary = doc["summary"]
         if not args.quiet:
             print(f"{doc['trial_count']} trials "
-                  f"({doc['skipped_cells']} cells skipped), "
+                  f"({doc['skipped_trials']} trials skipped), "
                   f"{summary['ok']} ok, cpu_count={doc['cpu_count']}")
             for mode in doc["modes"]:
                 print(f"  workers={mode['workers']}: "
@@ -295,7 +295,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     result = run_grid(grid, workers=args.workers, chunksize=args.chunksize)
     summary = result.summary()
-    print(f"{result.trial_count} trials ({result.skipped_cells} cells "
+    print(f"{result.trial_count} trials ({result.skipped_trials} trials "
           f"skipped), {result.ok_count} ok, workers={result.workers}, "
           f"{result.wall_seconds:.3f}s")
     if not args.quiet:

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import math
 import multiprocessing
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Mapping, Optional
 
@@ -423,6 +424,14 @@ def explore(
     identical to a serial sweep's regardless of worker count.  With
     ``stop_on_first`` a parallel sweep still runs every trial but
     returns only the first violation in trial order.
+
+    Custom ``checkers`` reach pool workers through the pool initializer,
+    which requires the ``fork`` start method: under ``spawn`` the
+    initargs are pickled, and checker callables (lambdas, local
+    functions) generally are not picklable.  On platforms without fork,
+    ``workers > 1`` with custom checkers therefore falls back to the
+    serial path with a :class:`RuntimeWarning` rather than crashing the
+    pool.
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
@@ -434,7 +443,18 @@ def explore(
                         inject=inject)
         for _ in range(trials)
     ]
-    if workers == 1 or trials == 1:
+    methods = multiprocessing.get_all_start_methods()
+    serial = workers == 1 or trials == 1
+    if not serial and checkers is not None and "fork" not in methods:
+        warnings.warn(
+            "parallel explore with custom checkers requires the 'fork' "
+            "start method (spawn pickles pool initargs, and checker "
+            "callables are generally not picklable); running serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        serial = True
+    if serial:
         violations: list[Violation] = []
         for scenario in scenarios:
             result = run_scenario(scenario, checkers=checkers)
@@ -443,7 +463,6 @@ def explore(
                 if stop_on_first:
                     break
         return violations
-    methods = multiprocessing.get_all_start_methods()
     ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
     chunksize = max(1, math.ceil(trials / (workers * 4)))
     init_checkers = dict(checkers) if checkers is not None else None

@@ -5,9 +5,13 @@ Determinism contract
 A trial's outcome is a pure function of its :class:`TrialSpec`: the
 per-cell seed is position-independent (hashed from the cell
 coordinates), every trial runs under its own fresh
-:class:`~repro.obs.metrics.MetricsRegistry`, and the geometry cache only
-ever returns values equal (to the bit) to what the wrapped kernel would
-have computed.  Consequently ``run_sweep(trials, workers=1)`` and
+:class:`~repro.obs.metrics.MetricsRegistry`, and the geometry cache keys
+on exact argument bytes, so a hit returns exactly the bits the wrapped
+kernel would have computed.  Pool workers additionally start from a
+*cleared* cache (a pool initializer drops any table inherited through
+``fork``), so parallel results are computed independently rather than
+replayed from the parent's history.  Consequently
+``run_sweep(trials, workers=1)`` and
 ``run_sweep(trials, workers=8)`` produce byte-identical decision vectors
 and verdicts — checked by :func:`compare_grid` and asserted in CI.
 
@@ -29,7 +33,7 @@ from dataclasses import replace
 from typing import Any, Optional, Sequence
 
 from ..core.runner import run
-from ..geometry.cache import cache_enabled, set_cache_enabled
+from ..geometry.cache import cache_enabled, clear_cache, set_cache_enabled
 from ..obs.metrics import MetricsRegistry
 from .grid import SweepGrid, TrialSpec, build_runspec
 from .results import SweepResult, TrialResult, decisions_to_hex
@@ -89,10 +93,21 @@ def run_trial(trial: TrialSpec) -> TrialResult:
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
-    # fork keeps worker start cheap and inherits the warm geometry cache;
-    # fall back to the platform default where fork is unavailable.
+    # fork keeps worker start cheap; fall back to the platform default
+    # where fork is unavailable.  Either way _worker_init clears the
+    # geometry cache, so workers never replay state inherited from the
+    # parent process.
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def _worker_init() -> None:
+    # Under fork the worker inherits the parent's warm cache table.  A
+    # parallel pass must compute its results independently — both so the
+    # serial-vs-parallel identity check can actually catch cache bugs and
+    # so timing comparisons are cold-vs-cold — so every worker starts
+    # from an empty table.
+    clear_cache()
 
 
 def run_sweep(
@@ -100,7 +115,7 @@ def run_sweep(
     *,
     workers: int = 1,
     chunksize: Optional[int] = None,
-    skipped_cells: int = 0,
+    skipped_trials: int = 0,
     grid: Optional[dict[str, Any]] = None,
 ) -> SweepResult:
     """Run every trial and aggregate into a :class:`SweepResult`.
@@ -121,7 +136,7 @@ def run_sweep(
         if chunksize is None:
             chunksize = max(1, math.ceil(len(trial_list) / (workers * 4)))
         ctx = _pool_context()
-        with ctx.Pool(processes=workers) as pool:
+        with ctx.Pool(processes=workers, initializer=_worker_init) as pool:
             results = list(pool.imap_unordered(
                 run_trial, trial_list, chunksize=chunksize
             ))
@@ -132,7 +147,7 @@ def run_sweep(
         workers=workers,
         wall_seconds=wall,
         cpu_count=os.cpu_count() or 1,
-        skipped_cells=skipped_cells,
+        skipped_trials=skipped_trials,
         grid=dict(grid or {}),
         cache_enabled=cache_enabled(),
     )
@@ -150,7 +165,7 @@ def run_grid(
         trials,
         workers=workers,
         chunksize=chunksize,
-        skipped_cells=skipped,
+        skipped_trials=skipped,
         grid=grid.to_dict(),
     )
 
@@ -168,8 +183,15 @@ def compare_grid(
     by the CLI: both modes' timings, the shared decisions digest, and —
     with ``measure_cache`` — a third serial pass with the geometry cache
     disabled, quantifying the cache's speedup on the same grid.
+
+    Every timed pass starts from a cleared geometry cache (and pool
+    workers clear again in their initializer): the passes must compute
+    their results independently for the identity assertion to mean
+    anything, and cold-vs-cold keeps the timing ratio apples-to-apples.
     """
+    clear_cache()
     serial = run_grid(grid, workers=1, chunksize=chunksize)
+    clear_cache()
     parallel = run_grid(grid, workers=workers, chunksize=chunksize)
     serial_digest = serial.decisions_digest()
     parallel_digest = parallel.decisions_digest()
@@ -178,7 +200,7 @@ def compare_grid(
         "grid": grid.to_dict(),
         "cpu_count": os.cpu_count() or 1,
         "trial_count": serial.trial_count,
-        "skipped_cells": serial.skipped_cells,
+        "skipped_trials": serial.skipped_trials,
         "identical": serial_digest == parallel_digest,
         "decisions_digest": {"serial": serial_digest,
                              "parallel": parallel_digest},
@@ -196,6 +218,7 @@ def compare_grid(
     if measure_cache:
         was_enabled = set_cache_enabled(False)
         try:
+            clear_cache()
             uncached = run_grid(grid, workers=1, chunksize=chunksize)
         finally:
             set_cache_enabled(was_enabled)

@@ -245,6 +245,9 @@ class SweepGrid:
     legal ``n`` for each ``(algorithm, d, f)`` cell".  Cells below the
     resilience floor are skipped (counted, not errors), so a grid can
     mix algorithms with different bounds without hand-tuning ``n``.
+    Skips are counted at *trial* granularity — a skipped axis slice
+    contributes the number of trials it would have expanded to, so
+    ``len(trials) + skipped`` always equals the full cross product.
     """
 
     algorithms: tuple[str, ...] = ("algo",)
@@ -282,21 +285,26 @@ class SweepGrid:
         }
 
     def trials(self) -> tuple[tuple[TrialSpec, ...], int]:
-        """Expand to ``(cells, skipped)`` in deterministic grid order."""
+        """Expand to ``(cells, skipped_trials)`` in deterministic grid
+        order; ``skipped_trials`` counts the trials each skipped slice
+        would have expanded to (so cells + skipped = full cross product).
+        """
         cells: list[TrialSpec] = []
         skipped = 0
+        trials_per_n = len(self.adversaries) * self.reps
         index = 0
         for algorithm in self.algorithms:
             for d in self.dimensions:
                 if algorithm == "scalar" and d != 1:
-                    skipped += 1
+                    skipped += (len(self.faults)
+                                * (len(self.sizes) or 1) * trials_per_n)
                     continue
                 for f in self.faults:
                     floor = min_trial_size(algorithm, d, f, self.k)
                     sizes = self.sizes or (floor,)
                     for n in sizes:
                         if n < floor:
-                            skipped += 1
+                            skipped += trials_per_n
                             continue
                         for adversary in self.adversaries:
                             for rep in range(self.reps):

@@ -127,7 +127,10 @@ class SweepResult:
     workers: int
     wall_seconds: float
     cpu_count: int
-    skipped_cells: int = 0
+    #: Trials omitted during grid expansion (undersized ``n``, scalar on
+    #: vector dimensions) — counted per trial, so ``trial_count +
+    #: skipped_trials`` is the grid's full cross product.
+    skipped_trials: int = 0
     grid: dict[str, Any] = field(default_factory=dict)
     cache_enabled: bool = True
 
@@ -174,7 +177,7 @@ class SweepResult:
         return {
             "trials": self.trial_count,
             "ok": self.ok_count,
-            "skipped_cells": self.skipped_cells,
+            "skipped_trials": self.skipped_trials,
             "workers": self.workers,
             "cpu_count": self.cpu_count,
             "wall_seconds": round(self.wall_seconds, 6),
@@ -199,7 +202,7 @@ class SweepResult:
             "workers": self.workers,
             "cpu_count": self.cpu_count,
             "wall_seconds": round(self.wall_seconds, 6),
-            "skipped_cells": self.skipped_cells,
+            "skipped_trials": self.skipped_trials,
             "cache_enabled": self.cache_enabled,
             "decisions_digest": self.decisions_digest(),
             "summary": self.summary(),
@@ -226,7 +229,7 @@ class SweepResult:
             workers=int(d.get("workers", 1)),
             wall_seconds=float(d.get("wall_seconds", 0.0)),
             cpu_count=int(d.get("cpu_count", 1)),
-            skipped_cells=int(d.get("skipped_cells", 0)),
+            skipped_trials=int(d.get("skipped_trials", 0)),
             grid=dict(d.get("grid", {})),
             cache_enabled=bool(d.get("cache_enabled", True)),
         )

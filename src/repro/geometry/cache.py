@@ -14,11 +14,13 @@ Keys
 A cache key is built from the kernel name plus every argument, encoded
 canonically:
 
-* arrays are rounded to the :data:`~repro.geometry.tolerance.DELTA_ATOL`
-  grid (the same quantum the sanctioned float predicates use), with
-  ``-0.0`` normalised to ``+0.0``, then hashed as raw bytes together
-  with their shape — two inputs that the tolerance layer cannot tell
-  apart share an entry;
+* arrays are cast to ``float64`` C-order and keyed on their **exact**
+  bytes together with their shape — only bit-identical inputs share an
+  entry.  Sub-tolerance jitter (and ``-0.0`` vs ``+0.0``) deliberately
+  gets distinct entries: substituting a near-equal neighbour's result
+  would make outputs depend on per-process call history, which differs
+  between serial and parallel sweeps and would break the engine's
+  bit-identity contract;
 * scalars use exact encodings (``float.hex`` for floats), since knobs
   like ``delta``/``tol``/``p`` are passed-in values, not computed noise;
 * anything else (e.g. a ``probe`` callable) is *not* canonicalisable:
@@ -37,11 +39,12 @@ so every ``RunResult.metrics`` reports its own hit rate.
 
 Determinism
 -----------
-The cache is per-process and the kernels are pure, so caching never
-changes a result — serial and parallel sweeps stay bit-identical (each
-worker simply warms its own cache).  Eviction clears the whole table
-(deterministic, like the verified-averaging selection cache) and the
-table is never iterated.
+Keys are exact and the kernels are pure, so a hit returns exactly the
+bits the kernel would have computed for those arguments — caching never
+changes a result, regardless of what ran earlier in the process, and
+serial and parallel sweeps stay bit-identical (each worker simply warms
+its own cache).  Eviction clears the whole table (deterministic, like
+the verified-averaging selection cache) and the table is never iterated.
 """
 
 from __future__ import annotations
@@ -54,10 +57,8 @@ from typing import Any, Callable, Iterator, Optional, TypeVar, cast
 import numpy as np
 
 from ..obs import metrics as _obs
-from .tolerance import DELTA_ATOL
 
 __all__ = [
-    "CACHE_DECIMALS",
     "cache_disabled",
     "cache_enabled",
     "cache_stats",
@@ -71,24 +72,18 @@ __all__ = [
 
 F = TypeVar("F", bound=Callable[..., Any])
 
-#: Decimal places of the canonical grid — ``10**-CACHE_DECIMALS`` equals
-#: :data:`~repro.geometry.tolerance.DELTA_ATOL`, the quantum below which
-#: the sanctioned comparisons treat values as equal.
-CACHE_DECIMALS = 12
-
-assert 10.0 ** (-CACHE_DECIMALS) == DELTA_ATOL  # repro: noqa[FLT001] — exact powers of ten
-
 
 def canonical_array_bytes(arr: Any) -> bytes:
-    """Canonical byte encoding of an array-like: tolerance grid + shape.
+    """Canonical byte encoding of an array-like: exact bytes + shape.
 
-    Rounds to the ``DELTA_ATOL`` grid and normalises ``-0.0`` so that any
-    two inputs the tolerance predicates would call equal map to the same
-    bytes.
+    The only canonicalisation is representational — cast to ``float64``
+    in C order — never numeric: two inputs share bytes iff they are
+    bit-identical as float64 arrays of the same shape.  No rounding, no
+    ``-0.0`` folding: a hit must return exactly what the kernel would
+    compute for *these* argument bits.
     """
-    a = np.asarray(arr, dtype=float)
-    q = np.round(a, CACHE_DECIMALS) + 0.0  # +0.0 folds -0.0 into +0.0
-    return repr(a.shape).encode() + b"|" + q.tobytes()
+    a = np.ascontiguousarray(arr, dtype=float)
+    return repr(a.shape).encode() + b"|" + a.tobytes()
 
 
 def _encode_part(part: Any) -> Optional[bytes]:

@@ -148,6 +148,23 @@ class TestExplore:
         replayed = run_scenario(decode_token(v.token))
         assert v.invariant in replayed.violations
 
+    def test_custom_checkers_without_fork_fall_back_to_serial(self, monkeypatch):
+        """spawn pickles pool initargs, and checker lambdas don't pickle —
+        so fork-less platforms must warn and run serially, not crash."""
+        import importlib
+
+        mod = importlib.import_module("repro.dst.explore")
+        monkeypatch.setattr(mod.multiprocessing, "get_all_start_methods",
+                            lambda: ["spawn"])
+        checkers = {"always": lambda scenario, outcome, decisions: "synthetic"}
+        with pytest.warns(RuntimeWarning, match="fork"):
+            parallel = explore("algo", trials=3, seed=7, workers=2,
+                               checkers=checkers)
+        serial = explore("algo", trials=3, seed=7, workers=1,
+                         checkers=checkers)
+        assert len(serial) == 3
+        assert [v.token for v in parallel] == [v.token for v in serial]
+
 
 def test_injection_registry_names():
     assert {"split-brain", "stale-echo"} <= set(INJECTIONS)

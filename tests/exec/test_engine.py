@@ -68,6 +68,15 @@ class TestSerialParallelIdentity:
         with pytest.raises(ValueError, match="workers"):
             run_sweep(trials, workers=0)
 
+    def test_pool_workers_start_cold(self):
+        """Forked workers must clear the inherited geometry cache:
+        otherwise a parallel pass after a warm serial pass just replays
+        parent results and the identity check cannot catch cache bugs."""
+        grid = small_grid(reps=1)
+        run_grid(grid, workers=1)  # warms the parent-process cache
+        parallel = run_grid(grid, workers=2)
+        assert parallel.metric_total("geometry.cache.misses") > 0
+
     def test_cache_off_changes_nothing_but_time(self):
         grid = small_grid(reps=1)
         cached = run_grid(grid, workers=1)

@@ -90,6 +90,23 @@ class TestGridExpansion:
         assert skipped == 2
         assert all(t.d == 1 for t in trials)
 
+    def test_skips_counted_at_trial_granularity(self):
+        """A skipped slice counts every trial it would have expanded to,
+        so cells + skipped always equals the full cross product."""
+        floor = min_trial_size("exact", 3, 1)
+        grid = SweepGrid(algorithms=("exact",), dimensions=(3,),
+                         sizes=(floor - 1, floor),
+                         adversaries=("none", "silent"), reps=3)
+        trials, skipped = grid.trials()
+        assert skipped == 2 * 3  # one undersized n x adversaries x reps
+        assert len(trials) + skipped == 1 * 1 * 1 * 2 * 2 * 3
+        grid = SweepGrid(algorithms=("scalar",), dimensions=(1, 2),
+                         faults=(1, 2), adversaries=("none", "silent"),
+                         reps=2)
+        trials, skipped = grid.trials()
+        assert skipped == 2 * 1 * 2 * 2  # d=2 slab: faults x n x adv x reps
+        assert len(trials) + skipped == 1 * 2 * 2 * 1 * 2 * 2
+
     def test_validation(self):
         with pytest.raises(ValueError, match="unknown algorithm"):
             SweepGrid(algorithms=("nope",))

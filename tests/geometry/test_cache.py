@@ -1,9 +1,9 @@
 """The canonical-key geometry cache: correctness, counters, controls.
 
-The cache may only ever change *time*: every memoized kernel must return
-a value that agrees with the uncached computation (reached through
-``__wrapped__``) under the repo's tolerance predicates — in fact bitwise,
-since the stored value IS the first computed value — and its results
+The cache may only ever change *time*: keys are the exact argument
+bytes, so a hit can only serve a value computed from bit-identical
+inputs — every memoized kernel must return bitwise what the uncached
+computation (reached through ``__wrapped__``) returns — and results
 must be immutable so a caller mutation cannot poison later hits.
 """
 
@@ -14,7 +14,6 @@ import pytest
 
 from repro.geometry import delta_star, gamma_point, tverberg_partition
 from repro.geometry.cache import (
-    CACHE_DECIMALS,
     cache_disabled,
     cache_enabled,
     cache_stats,
@@ -38,23 +37,29 @@ def _fresh_cache():
 
 
 class TestCanonicalKeys:
-    def test_rounding_matches_tolerance_atol(self):
-        assert 10.0 ** (-CACHE_DECIMALS) == DELTA_ATOL  # repro: noqa[FLT001]
-
-    def test_negative_zero_folded(self):
-        a = np.array([[0.0, -0.0]])
-        b = np.array([[-0.0, 0.0]])
-        assert canonical_array_bytes(a) == canonical_array_bytes(b)
+    def test_bit_identical_inputs_share_a_key(self):
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert canonical_array_bytes(a) == canonical_array_bytes(a.copy())
+        # canonicalisation is representational only: dtype/layout, not value
+        assert canonical_array_bytes(np.array([[1, 2]])) == \
+            canonical_array_bytes(np.array([[1.0, 2.0]]))
+        assert canonical_array_bytes(a.T) == \
+            canonical_array_bytes(np.ascontiguousarray(a.T))
 
     def test_shape_disambiguates(self):
         a = np.zeros((2, 3))
         b = np.zeros((3, 2))
         assert canonical_array_bytes(a) != canonical_array_bytes(b)
 
-    def test_points_within_atol_share_a_key(self):
+    def test_bit_different_inputs_get_distinct_keys(self):
+        """No numeric canonicalisation: a hit must return exactly what
+        the kernel would compute for *these* bits, so sub-tolerance
+        jitter and -0.0 vs +0.0 must not collide."""
         S = np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 0.0]])
-        jitter = S + 0.49 * DELTA_ATOL  # rounds to the same 12 decimals
-        assert canonical_array_bytes(S) == canonical_array_bytes(jitter)
+        jitter = S + 0.49 * DELTA_ATOL  # within tolerance, different bits
+        assert canonical_array_bytes(S) != canonical_array_bytes(jitter)
+        assert canonical_array_bytes(np.array([-0.0])) != \
+            canonical_array_bytes(np.array([0.0]))
 
 
 class TestCacheCorrectness:
