@@ -12,6 +12,8 @@ Commands
               bit-identity checking and a JSON report
 ``shrink``    minimise a violating scenario while the violation persists
 ``replay``    re-execute a replay token / seed file under full tracing
+``explain``   run one spec under causal tracing and reconstruct the
+              provenance (causal cone) of a process's decision
 ``trace``     run any other command under the tracer, dump JSONL + summary
 ``lint``      protocol-aware static analysis (determinism/float-safety/
               resilience-bounds/handler-hygiene rule families)
@@ -36,6 +38,8 @@ Examples::
     python -m repro sweep --reps 8 --workers 2 --compare --out BENCH_sweep.json
     python -m repro shrink --token dst1-...
     python -m repro replay --token dst1-... --trace failure.jsonl
+    python -m repro explain --algorithm algo --d 2 --f 1 --pid 0 --probes all
+    python -m repro explain --algorithm averaging --format dot --out cone.dot
     python -m repro trace --out run.jsonl demo --d 3
     python -m repro lint src/repro benchmarks examples
     python -m repro lint --list-rules
@@ -255,6 +259,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             p=args.p,
             k=args.k,
             epsilon=args.epsilon,
+            probes=args.probes if args.probes else (),
         )
     except ValueError as exc:
         return _fail(str(exc))
@@ -299,6 +304,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
           f"skipped), {result.ok_count} ok, workers={result.workers}, "
           f"{result.wall_seconds:.3f}s")
     if not args.quiet:
+        if args.probes:
+            print(f"  probe violations: {summary['probe_violations']}")
         cache = summary["geometry_cache"]
         print(f"  geometry cache: {cache['hits']:.0f} hits / "
               f"{cache['misses']:.0f} misses "
@@ -375,7 +382,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         return resolved
     scenario, case = resolved
     try:
-        report = replay(scenario, trace_path=args.trace)
+        report = replay(scenario, trace_path=args.trace,
+                        probes=args.probes if args.probes else ())
     except ValueError as exc:
         return _fail(str(exc))
     s = scenario
@@ -388,6 +396,14 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     else:
         for name, detail in sorted(result.violations.items()):
             print(f"violated {name}: {detail}")
+    for probe_report in result.probe_reports:
+        status = ("ok" if not probe_report.violations
+                  else f"{len(probe_report.violations)} violation(s)")
+        print(f"probe {probe_report.name}: {status} "
+              f"({probe_report.checks} checks)")
+        for v in probe_report.violations[:5]:
+            pids = ",".join(str(p) for p in v.pids) or "-"
+            print(f"  t={v.time} pids={pids}: {v.detail}")
     m = report.metrics
     print(f"forensics: {len(report.tracer.spans)} spans, "
           f"{m.counter_value('net.messages_sent')} messages, "
@@ -403,6 +419,84 @@ def _cmd_replay(args: argparse.Namespace) -> int:
                  else f"reproduces {case.expected_violation!r}"))
         return 0
     return 1 if not result.ok else 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis.timeline import (
+        CausalGraph,
+        cone_json,
+        render_dot,
+        render_explanation,
+        render_timeline,
+    )
+    from .core import RunSpec, run
+    from .exec.grid import build_adversary, min_trial_size
+    from .obs.causal import CausalCollector, use_causal_collector
+    from .obs.export import dump_jsonl, header_record
+
+    n = args.n if args.n is not None else min_trial_size(
+        args.algorithm, args.d, args.f, args.k
+    )
+    try:
+        adversary = build_adversary(args.adversary, n, args.f)
+        spec = RunSpec(
+            algorithm=args.algorithm, n=n, d=args.d, f=args.f,
+            adversary=adversary, p=args.p, k=args.k, epsilon=args.epsilon,
+            rounds=args.rounds, seed=args.seed,
+            probes=args.probes if args.probes else (),
+        )
+    except ValueError as exc:
+        return _fail(str(exc))
+    collector = CausalCollector(n)
+    with use_causal_collector(collector):
+        try:
+            out = run(spec)
+        except ValueError as exc:
+            return _fail(str(exc))
+    graph = CausalGraph.from_source(collector)
+    decided = graph.decided_pids()
+    pid = args.pid if args.pid is not None else (decided[0] if decided else 0)
+
+    if args.format == "timeline":
+        rendered = render_timeline(graph)
+    elif args.format == "json":
+        rendered = json.dumps(cone_json(graph, pid), indent=2, sort_keys=True)
+    elif args.format == "dot":
+        rendered = render_dot(graph, pid=pid)
+    else:
+        rendered = render_explanation(graph, pid)
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(rendered + "\n")
+        except OSError as exc:
+            return _fail(f"cannot write {args.out!r}: {exc}")
+        if not args.quiet:
+            print(f"wrote {args.out}")
+    else:
+        print(rendered)
+    if not args.quiet:
+        print(f"\nrun: ok={out.ok} algorithm={args.algorithm} n={n} "
+              f"d={args.d} f={args.f} adversary={args.adversary} "
+              f"seed={args.seed}; {len(graph)} causal events, "
+              f"decided pids {decided}")
+        for report in out.probe_reports:
+            status = "ok" if report.ok else "VIOLATED"
+            print(f"probe {report.name}: {status} "
+                  f"({report.checks} checks, {len(report.violations)} "
+                  f"violations)")
+    if args.causal_out:
+        records = [header_record()] + collector.to_records()
+        try:
+            with open(args.causal_out, "w", encoding="utf-8") as fh:
+                lines = dump_jsonl(records, fh)
+        except OSError as exc:
+            return _fail(f"cannot write {args.causal_out!r}: {exc}")
+        if not args.quiet:
+            print(f"wrote {args.causal_out} ({lines} lines)")
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -535,6 +629,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--p", type=float, default=2.0)
     p.add_argument("--k", type=int, default=1)
     p.add_argument("--epsilon", type=float, default=5e-2)
+    p.add_argument("--probes", type=_str_tuple, default=None,
+                   help="comma list of online probes for every trial "
+                        "(validity,agreement,broadcast or 'all'); violation "
+                        "totals land in the summary, never in the digest")
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes (1 = in-process serial)")
     p.add_argument("--chunksize", type=int, default=None,
@@ -577,7 +675,47 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--trace", default=None,
                            help="dump the forensic span/metrics trail as "
                                 "JSONL to this path")
+            p.add_argument("--probes", type=_str_tuple, default=(),
+                           help="comma-separated online probes to run "
+                                "alongside the replay (validity, agreement, "
+                                "broadcast, or 'all')")
             p.set_defaults(func=_cmd_replay)
+
+    p = sub.add_parser(
+        "explain", parents=[common],
+        help="run one spec under causal tracing; explain a decision's "
+             "provenance (causal cone / timeline / DOT)",
+    )
+    p.add_argument("--algorithm", default="algo",
+                   help="exact,algo,krelaxed,scalar,iterative,averaging")
+    p.add_argument("--n", type=int, default=None,
+                   help="processes (default: smallest legal n for the cell)")
+    p.add_argument("--d", type=int, default=2)
+    p.add_argument("--f", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--adversary", default="none",
+                   help="named adversary: none,honest,silent,crash,mutate,"
+                        "equivocate,duplicate (default none)")
+    p.add_argument("--pid", type=int, default=None,
+                   help="process whose decision to explain (default: the "
+                        "lowest decided pid)")
+    p.add_argument("--rounds", type=int, default=None)
+    p.add_argument("--p", type=float, default=2.0)
+    p.add_argument("--k", type=int, default=1)
+    p.add_argument("--epsilon", type=float, default=5e-2)
+    p.add_argument("--probes", type=_str_tuple, default=None,
+                   help="comma list of online probes to run alongside "
+                        "(validity,agreement,broadcast or 'all')")
+    p.add_argument("--format", default="cone",
+                   choices=["cone", "timeline", "json", "dot"],
+                   help="cone: text causal cone (default); timeline: "
+                        "per-round event groups; json: machine-readable "
+                        "cone; dot: Graphviz DAG")
+    p.add_argument("--out", default=None,
+                   help="write the rendering to this file instead of stdout")
+    p.add_argument("--causal-out", default=None,
+                   help="also dump the full causal event log as JSONL")
+    p.set_defaults(func=_cmd_explain)
 
     p = sub.add_parser(
         "lint", parents=[common],

@@ -10,6 +10,14 @@ from .profiling import (
     summarize_spans,
 )
 from .tables import format_table, print_table
+from .timeline import (
+    CausalGraph,
+    causal_records,
+    cone_json,
+    render_dot,
+    render_explanation,
+    render_timeline,
+)
 from .transcripts import TranscriptSummary, render_transcript, summarize_transcript
 from .workloads import (
     WORKLOADS,
@@ -25,10 +33,16 @@ from .workloads import (
 
 __all__ = [
     "ALGORITHMS",
+    "CausalGraph",
     "DeltaTrial",
     "FuzzFailure",
+    "causal_records",
+    "cone_json",
     "fuzz_consensus",
     "random_adversary",
+    "render_dot",
+    "render_explanation",
+    "render_timeline",
     "TranscriptSummary",
     "TrialSummary",
     "WORKLOADS",

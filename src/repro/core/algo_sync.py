@@ -29,6 +29,8 @@ from typing import Optional, Union
 import numpy as np
 
 from ..geometry.minimax import DeltaStarResult, delta_star
+from ..obs.causal import note_decision
+from ..obs.tracer import trace_event
 from ..system.crypto import SignatureScheme
 from ..system.process import Context
 from .broadcast_all import BroadcastAllProcess
@@ -76,3 +78,7 @@ class AlgoProcess(BroadcastAllProcess):
         self.delta_result = result
         self.delta_used = result.value
         ctx.decide(result.point)
+        note_decision(self.pid, delta_used=result.value,
+                      multiset_size=int(S.shape[0]))
+        trace_event("core.algo.decide", pid=self.pid,
+                    delta_used=result.value)

@@ -48,6 +48,8 @@ import numpy as np
 from ..geometry.intersections import gamma_delta_p_point, gamma_point
 from ..geometry.minimax import delta_star
 from ..geometry.tolerance import near_zero
+from ..obs.causal import note_decision, note_iteration
+from ..obs.tracer import trace_event
 from ..system.broadcast.bracha import BrachaState
 from ..system.process import AsyncProcess, Context
 
@@ -323,6 +325,7 @@ class VerifiedAveragingProcess(AsyncProcess):
                 refs = tuple(ready[: self.quorum])
                 next_round = t + 1
                 self.my_values[next_round] = self._round_value(next_round, refs)
+                note_iteration(self.pid, round=next_round, refs=refs)
                 self._rb_send(
                     ctx,
                     self.pid,
@@ -338,3 +341,7 @@ class VerifiedAveragingProcess(AsyncProcess):
             and self.num_rounds in self.my_values
         ):
             ctx.decide(self.my_values[self.num_rounds].copy())
+            note_decision(self.pid, round=self.num_rounds,
+                          delta_used=self.delta_used)
+            trace_event("core.averaging.decide", pid=self.pid,
+                        rounds=self.num_rounds, delta_used=self.delta_used)

@@ -22,6 +22,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..geometry.intersections import gamma_point
+from ..obs.causal import note_decision
+from ..obs.tracer import trace_event
 from ..system.process import Context
 from .bounds import tverberg_min_n
 from .broadcast_all import BroadcastAllProcess
@@ -53,3 +55,5 @@ class ExactBVCProcess(BroadcastAllProcess):
 
     def decide_from_multiset(self, ctx: Context, S: np.ndarray) -> None:
         ctx.decide(exact_bvc_decision(S, self.f))
+        note_decision(self.pid, multiset_size=int(S.shape[0]))
+        trace_event("core.exact_bvc.decide", pid=self.pid)

@@ -21,11 +21,12 @@ sites keep working; new code should construct a ``RunSpec``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Optional, Union
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Union
 
 import numpy as np
 
 from ..obs.metrics import use_registry
+from ..obs.probes import Probe, ProbeReport, build_probes
 from ..system.adversary import Adversary
 from ..system.crypto import SignatureScheme
 from ..system.process import SyncProcess
@@ -87,6 +88,29 @@ class ConsensusOutcome:
         (shortcut for ``result.metrics``)."""
         return self.result.metrics
 
+    @property
+    def probe_reports(self) -> tuple[ProbeReport, ...]:
+        """Per-probe reports (shortcut for ``result.probes``)."""
+        return self.result.probes
+
+    @property
+    def probe_violations(self) -> int:
+        """Total online invariant violations across all probes."""
+        return self.result.probe_violations
+
+
+def _spec_probes(spec: RunSpec) -> list[Probe]:
+    """Materialise ``spec.probes`` (names and/or objects) for one run."""
+    if not spec.probes:
+        return []
+    names = [p for p in spec.probes if isinstance(p, str)]
+    built = build_probes(
+        names, algorithm=spec.algorithm, p=spec.p, k=spec.k,
+        epsilon=spec.epsilon,
+    )
+    objects = [p for p in spec.probes if not isinstance(p, str)]
+    return objects + built
+
 
 def _prep(
     inputs: np.ndarray, adversary: Optional[Adversary]
@@ -110,6 +134,7 @@ def _run_sync(
     transport: str = "eig",
     seed: int = 0,
     max_rounds: int = 64,
+    probes: Sequence[Probe] = (),
 ) -> ConsensusOutcome:
     inputs, adversary, honest = _prep(inputs, adversary)
     n = inputs.shape[0]
@@ -125,6 +150,7 @@ def _run_sync(
         rng=rng,
         max_rounds=max_rounds,
         sign=scheme.signer_for(set(adversary.faulty)) if scheme else None,
+        probes=probes,
     )
     result = sched.run()
     decisions = {
@@ -157,7 +183,7 @@ def _handle_exact(spec: RunSpec) -> ConsensusOutcome:
 
     return _run_sync(make, inputs, spec.f, spec.adversary, ExactBVC(d, spec.f),
                      transport=spec.transport, seed=spec.seed,
-                     max_rounds=spec.max_rounds)
+                     max_rounds=spec.max_rounds, probes=_spec_probes(spec))
 
 
 def _handle_algo(spec: RunSpec) -> ConsensusOutcome:
@@ -178,6 +204,7 @@ def _handle_algo(spec: RunSpec) -> ConsensusOutcome:
         make, inputs, spec.f, adversary,
         DeltaPExactBVC(d, spec.f, delta=0.0, p=p),
         transport=spec.transport, seed=spec.seed, max_rounds=spec.max_rounds,
+        probes=_spec_probes(spec),
     )
     if spec.check_delta is not None:
         delta = spec.check_delta
@@ -210,7 +237,7 @@ def _handle_krelaxed(spec: RunSpec) -> ConsensusOutcome:
     return _run_sync(make, inputs, spec.f, spec.adversary,
                      KRelaxedExactBVC(d, spec.f, k=k),
                      transport=spec.transport, seed=spec.seed,
-                     max_rounds=spec.max_rounds)
+                     max_rounds=spec.max_rounds, probes=_spec_probes(spec))
 
 
 def _handle_scalar(spec: RunSpec) -> ConsensusOutcome:
@@ -224,7 +251,8 @@ def _handle_scalar(spec: RunSpec) -> ConsensusOutcome:
 
     return _run_sync(make, spec.resolved_inputs(), spec.f, spec.adversary,
                      ExactBVC(1, spec.f), transport=spec.transport,
-                     seed=spec.seed, max_rounds=spec.max_rounds)
+                     seed=spec.seed, max_rounds=spec.max_rounds,
+                     probes=_spec_probes(spec))
 
 
 def _handle_iterative(spec: RunSpec) -> ConsensusOutcome:
@@ -249,6 +277,7 @@ def _handle_iterative(spec: RunSpec) -> ConsensusOutcome:
         rng=np.random.default_rng(spec.seed),
         max_rounds=rounds + 2,
         topology=topo,
+        probes=_spec_probes(spec),
     )
     result = sched.run()
     decisions = {
@@ -287,6 +316,7 @@ def _handle_averaging(spec: RunSpec) -> ConsensusOutcome:
         procs, spec.f, adversary,
         policy=spec.policy, rng=np.random.default_rng(spec.seed),
         max_steps=spec.max_steps,
+        probes=_spec_probes(spec),
     )
     result = sched.run()
     decisions = {

@@ -93,6 +93,12 @@ class RunSpec:
         iterative; the contraction-bound estimate for averaging).
     max_rounds, max_steps:
         Scheduler safety caps (synchronous rounds / async activations).
+    probes:
+        Online invariant probes evaluated during the run: names from
+        :data:`repro.obs.probes.PROBE_NAMES` (or ``"all"``), or
+        pre-built :class:`~repro.obs.probes.Probe` objects.  Reports
+        surface as ``RunResult.probes``; enabling probes never changes a
+        decision.
     policy:
         Async delivery policy (``"averaging"`` only).
     seed:
@@ -125,6 +131,7 @@ class RunSpec:
     max_rounds: int = 64
     max_steps: int = 2_000_000
     policy: Optional["DeliveryPolicy"] = None
+    probes: tuple = ()
     seed: int = 0
     input_scale: float = 3.0
     metrics: Optional["MetricsRegistry"] = field(default=None, repr=False)
@@ -144,6 +151,22 @@ class RunSpec:
             raise ValueError(f"epsilon must be > 0, got {self.epsilon}")
         if self.rounds is not None and self.rounds < 1:
             raise ValueError(f"rounds must be >= 1, got {self.rounds}")
+        if not isinstance(self.probes, tuple):
+            object.__setattr__(self, "probes", tuple(self.probes))
+        from ..obs.probes import PROBE_NAMES
+
+        for probe in self.probes:
+            if isinstance(probe, str):
+                if probe not in PROBE_NAMES + ("all",):
+                    raise ValueError(
+                        f"unknown probe {probe!r}; choices "
+                        f"{PROBE_NAMES + ('all',)}"
+                    )
+            elif not hasattr(probe, "on_boundary"):
+                raise ValueError(
+                    f"probes entries must be names or Probe objects, "
+                    f"got {type(probe).__name__}"
+                )
         if self.inputs is not None:
             arr = np.atleast_2d(np.asarray(self.inputs, dtype=float)).copy()
             arr.setflags(write=False)
@@ -192,6 +215,12 @@ class RunSpec:
                 out[fld.name] = None if value is None else list(value.shape)
             elif fld.name in ("adversary", "topology", "policy", "metrics"):
                 out[fld.name] = None if value is None else type(value).__name__
+            elif fld.name == "probes":
+                out[fld.name] = [
+                    probe if isinstance(probe, str)
+                    else getattr(probe, "name", type(probe).__name__)
+                    for probe in value
+                ]
             else:
                 out[fld.name] = value
         return out

@@ -28,9 +28,10 @@ import json
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Mapping, Optional, Union
+from typing import Any, Mapping, Optional, Sequence, Union
 
 from ..obs import MetricsRegistry, Tracer, use_registry, use_tracer, write_jsonl
+from ..obs.probes import Probe
 from .explore import CheckerFn, ExplorationResult, run_scenario
 from .scenarios import Scenario
 
@@ -104,13 +105,16 @@ def replay(
     *,
     trace_path: Optional[Union[str, Path]] = None,
     checkers: Optional[Mapping[str, CheckerFn]] = None,
+    probes: Sequence[Union[str, Probe]] = (),
 ) -> ReplayReport:
     """Re-execute a scenario under full observability.
 
     The run always collects spans and metrics; when ``trace_path`` is
     given the trail is additionally written as a JSONL trace file
     readable by :func:`repro.obs.read_jsonl` and the profiling
-    renderers.
+    renderers.  ``probes`` enables online invariant probes (see
+    :func:`repro.dst.explore.run_scenario`); their reports ride on
+    ``report.result.probe_reports``.
     """
     scenario = (
         decode_token(scenario_or_token)
@@ -129,11 +133,12 @@ def replay(
         token=encode_token(scenario),
     )
     with use_tracer(tracer), use_registry(registry):
-        result = run_scenario(scenario, checkers=checkers)
+        result = run_scenario(scenario, checkers=checkers, probes=probes)
     tracer.event(
         "dst.replay.done",
         ok=result.ok,
         violations=sorted(result.violations),
+        probe_violations=result.probe_violations,
     )
     out: Optional[str] = None
     if trace_path is not None:

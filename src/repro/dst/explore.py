@@ -24,13 +24,14 @@ import math
 import multiprocessing
 import warnings
 from dataclasses import dataclass
-from typing import Callable, Mapping, Optional
+from typing import Callable, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
 from ..core.problems import agreement_diameter
 from ..core.runner import ConsensusOutcome, run
 from ..core.runspec import RunSpec
+from ..obs.probes import Probe, ProbeReport, build_probes
 from .scenarios import (
     FaultClause,
     Scenario,
@@ -61,7 +62,9 @@ ALGORITHM_NAMES = ("exact", "algo", "k1", "averaging")
 AVERAGING_EPSILON = 5e-2
 
 
-def _run_for(scenario: Scenario) -> ConsensusOutcome:
+def _run_for(
+    scenario: Scenario, probes: Sequence[Probe] = ()
+) -> ConsensusOutcome:
     inputs = scenario.inputs()
     adversary = build_adversary(scenario)
     if scenario.algorithm == "averaging":
@@ -73,6 +76,7 @@ def _run_for(scenario: Scenario) -> ConsensusOutcome:
             epsilon=AVERAGING_EPSILON,
             policy=build_policy(scenario),
             seed=scenario.seed,
+            probes=tuple(probes),
         ))
     # The explorer's "k1" is k-relaxed consensus at k=1.
     algorithm = "krelaxed" if scenario.algorithm == "k1" else scenario.algorithm
@@ -82,7 +86,20 @@ def _run_for(scenario: Scenario) -> ConsensusOutcome:
         f=scenario.f,
         adversary=adversary,
         seed=scenario.seed,
+        probes=tuple(probes),
     ))
+
+
+def _scenario_probes(scenario: Scenario, names: Sequence[str]) -> list[Probe]:
+    """Build probe *objects* for a scenario (we keep the references so the
+    post-injection decision map can be pushed back through them)."""
+    algorithm = "krelaxed" if scenario.algorithm == "k1" else scenario.algorithm
+    return build_probes(
+        list(names),
+        algorithm=algorithm,
+        k=1,
+        epsilon=AVERAGING_EPSILON if algorithm == "averaging" else None,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -190,10 +207,18 @@ class ExplorationResult:
     outcome: ConsensusOutcome
     #: checker name -> violation detail, for every checker that failed.
     violations: dict[str, str]
+    #: online probe reports (empty unless ``run_scenario(..., probes=...)``),
+    #: re-generated after any injection so injected decisions count.
+    probe_reports: tuple[ProbeReport, ...] = ()
 
     @property
     def ok(self) -> bool:
         return not self.violations
+
+    @property
+    def probe_violations(self) -> int:
+        """Total online probe violations (including post-injection checks)."""
+        return sum(len(r.violations) for r in self.probe_reports)
 
     @property
     def invariant(self) -> Optional[str]:
@@ -238,10 +263,25 @@ def run_scenario(
     scenario: Scenario,
     *,
     checkers: Optional[Mapping[str, CheckerFn]] = None,
+    probes: Sequence[Union[str, Probe]] = (),
 ) -> ExplorationResult:
-    """Execute one scenario and evaluate every registered invariant."""
+    """Execute one scenario and evaluate every registered invariant.
+
+    ``probes`` enables online invariant probes for the run: names from
+    :data:`repro.obs.probes.PROBE_NAMES` (or ``"all"``), or pre-built
+    :class:`~repro.obs.probes.Probe` objects.  After any bug injection
+    the perturbed decision map is pushed back through every probe
+    (``check_decisions``), so an injected split-brain shows up as an
+    online ``agreement`` probe violation, not only as a checker verdict.
+    """
     scenario.validate()
-    outcome = _run_for(scenario)
+    probe_objs: list[Probe] = []
+    if probes:
+        probe_objs = [p for p in probes if not isinstance(p, str)]
+        probe_objs += _scenario_probes(
+            scenario, [p for p in probes if isinstance(p, str)]
+        )
+    outcome = _run_for(scenario, probe_objs)
     decisions: Mapping[int, np.ndarray] = outcome.decisions
     if scenario.inject is not None:
         if scenario.inject not in INJECTIONS:
@@ -249,13 +289,21 @@ def run_scenario(
                 f"unknown injection {scenario.inject!r}; choices {sorted(INJECTIONS)}"
             )
         decisions = INJECTIONS[scenario.inject](dict(decisions), scenario)
+        for probe in probe_objs:
+            probe.check_decisions(
+                decisions, outcome.honest_inputs,
+                time=int(outcome.result.rounds),
+            )
     active = dict(checkers) if checkers is not None else CHECKERS
     violations = {}
     for name, fn in active.items():
         detail = fn(scenario, outcome, decisions)
         if detail is not None:
             violations[name] = detail
-    return ExplorationResult(scenario=scenario, outcome=outcome, violations=violations)
+    return ExplorationResult(
+        scenario=scenario, outcome=outcome, violations=violations,
+        probe_reports=tuple(probe.report() for probe in probe_objs),
+    )
 
 
 def violation_from(result: ExplorationResult) -> Violation:

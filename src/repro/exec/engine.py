@@ -89,6 +89,7 @@ def run_trial(trial: TrialSpec) -> TrialResult:
         decisions=decisions_to_hex(outcome.decisions),
         wall_seconds=wall,
         metrics=_rollup_metrics(registry),
+        probe_violations=int(outcome.probe_violations),
     )
 
 

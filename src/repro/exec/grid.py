@@ -212,6 +212,8 @@ class TrialSpec:
     k: int = 1
     epsilon: float = 5e-2
     input_scale: float = 3.0
+    #: Online probe names (never objects — cells must stay picklable).
+    probes: tuple[str, ...] = ()
 
     def to_dict(self) -> dict[str, Any]:
         return asdict(self)
@@ -234,6 +236,7 @@ def build_runspec(trial: TrialSpec) -> RunSpec:
         epsilon=trial.epsilon,
         seed=trial.seed,
         input_scale=trial.input_scale,
+        probes=trial.probes,
     )
 
 
@@ -261,8 +264,14 @@ class SweepGrid:
     k: int = 1
     epsilon: float = 5e-2
     input_scale: float = 3.0
+    #: Online probe names enabled for every trial ("all" expands).
+    #: Violation counts aggregate into the sweep summary but stay out of
+    #: the identity digest — probes observe, they never decide.
+    probes: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
+        from ..obs.probes import PROBE_NAMES
+
         for algorithm in self.algorithms:
             if algorithm not in ALGORITHMS:
                 raise ValueError(
@@ -272,6 +281,11 @@ class SweepGrid:
             if name not in ADVERSARIES:
                 raise ValueError(
                     f"unknown adversary {name!r}; choices {sorted(ADVERSARIES)}"
+                )
+        for name in self.probes:
+            if name not in PROBE_NAMES + ("all",):
+                raise ValueError(
+                    f"unknown probe {name!r}; choices {PROBE_NAMES + ('all',)}"
                 )
         if self.reps < 1:
             raise ValueError(f"reps must be >= 1, got {self.reps}")
@@ -325,6 +339,7 @@ class SweepGrid:
                                     k=self.k,
                                     epsilon=self.epsilon,
                                     input_scale=self.input_scale,
+                                    probes=self.probes,
                                 ))
                                 index += 1
         return tuple(cells), skipped

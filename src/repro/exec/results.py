@@ -77,10 +77,16 @@ class TrialResult:
     decisions: tuple[tuple[int, tuple[str, ...]], ...]
     wall_seconds: float
     metrics: dict[str, float] = field(default_factory=dict)
+    #: Total online probe violations (0 when the trial ran without
+    #: probes).  Deliberately NOT part of the identity record: probes
+    #: observe a run, they never change it, so enabling them must not
+    #: move the decisions digest.
+    probe_violations: int = 0
 
     def identity_record(self) -> dict[str, Any]:
         """Everything that must be bit-identical across execution modes
-        (excludes wall time and obs metrics, which measure the run)."""
+        (excludes wall time, obs metrics, and probe-violation counts,
+        which measure the run)."""
         return {
             "index": self.index,
             "algorithm": self.algorithm,
@@ -116,6 +122,8 @@ class TrialResult:
         kwargs = dict(d)
         kwargs["decisions"] = decisions
         kwargs["metrics"] = dict(d.get("metrics", {}))
+        # files written before probes existed carry no count
+        kwargs["probe_violations"] = int(d.get("probe_violations", 0))
         return cls(**kwargs)
 
 
@@ -142,6 +150,11 @@ class SweepResult:
     def ok_count(self) -> int:
         return sum(1 for t in self.trials if t.ok)
 
+    @property
+    def probe_violations(self) -> int:
+        """Total online probe violations across every trial."""
+        return sum(t.probe_violations for t in self.trials)
+
     def decisions_digest(self) -> str:
         """SHA-256 over the canonical JSON of every identity record.
 
@@ -167,16 +180,18 @@ class SweepResult:
         for t in self.trials:
             agg = per_algorithm.setdefault(t.algorithm, {
                 "trials": 0, "ok": 0, "wall_seconds": 0.0,
-                "messages": 0, "rounds": 0,
+                "messages": 0, "rounds": 0, "probe_violations": 0,
             })
             agg["trials"] += 1
             agg["ok"] += int(t.ok)
             agg["wall_seconds"] = round(agg["wall_seconds"] + t.wall_seconds, 6)
             agg["messages"] += t.messages
             agg["rounds"] += t.rounds
+            agg["probe_violations"] += t.probe_violations
         return {
             "trials": self.trial_count,
             "ok": self.ok_count,
+            "probe_violations": self.probe_violations,
             "skipped_trials": self.skipped_trials,
             "workers": self.workers,
             "cpu_count": self.cpu_count,

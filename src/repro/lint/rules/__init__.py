@@ -2,6 +2,6 @@
 
 from __future__ import annotations
 
-from . import determinism, floats, hygiene, resilience
+from . import determinism, floats, hygiene, observability, resilience
 
-__all__ = ["determinism", "floats", "hygiene", "resilience"]
+__all__ = ["determinism", "floats", "hygiene", "observability", "resilience"]

@@ -22,8 +22,21 @@ import functools
 import time
 from typing import Any, Callable, TypeVar
 
+from .causal import (
+    NULL_COLLECTOR,
+    CausalCollector,
+    CausalEvent,
+    NullCausalCollector,
+    get_causal_collector,
+    note_decision,
+    note_iteration,
+    set_causal_collector,
+    use_causal_collector,
+)
 from .export import (
+    SCHEMA_VERSION,
     dump_jsonl,
+    header_record,
     read_jsonl,
     trace_to_records,
     validate_records,
@@ -37,6 +50,17 @@ from .metrics import (
     current_registry,
     global_registry,
     use_registry,
+)
+from .probes import (
+    PROBE_NAMES,
+    AgreementConvergenceProbe,
+    BroadcastIntegrityProbe,
+    Probe,
+    ProbeReport,
+    ProbeView,
+    ProbeViolation,
+    ValidityEnvelopeProbe,
+    build_probes,
 )
 from .tracer import (
     EventRecord,
@@ -52,25 +76,45 @@ from .tracer import (
 )
 
 __all__ = [
+    "AgreementConvergenceProbe",
+    "BroadcastIntegrityProbe",
+    "CausalCollector",
+    "CausalEvent",
     "Counter",
     "EventRecord",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NULL_COLLECTOR",
     "NULL_TRACER",
+    "NullCausalCollector",
     "NullTracer",
+    "PROBE_NAMES",
+    "Probe",
+    "ProbeReport",
+    "ProbeView",
+    "ProbeViolation",
+    "SCHEMA_VERSION",
     "SpanRecord",
     "Tracer",
+    "ValidityEnvelopeProbe",
+    "build_probes",
     "current_registry",
     "dump_jsonl",
+    "get_causal_collector",
     "get_tracer",
     "global_registry",
+    "header_record",
+    "note_decision",
+    "note_iteration",
     "read_jsonl",
+    "set_causal_collector",
     "set_tracer",
     "timed",
     "trace_event",
     "trace_span",
     "trace_to_records",
+    "use_causal_collector",
     "use_registry",
     "use_tracer",
     "validate_records",

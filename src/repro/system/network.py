@@ -15,6 +15,7 @@ from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Deque, Iterator, Optional
 
+from ..obs.causal import NULL_COLLECTOR
 from .messages import Message
 
 __all__ = ["Network", "NetworkStats"]
@@ -65,6 +66,9 @@ class Network:
         self.n = int(n)
         self._links: dict[tuple[int, int], Deque[Message]] = defaultdict(deque)
         self.stats = NetworkStats()
+        #: Causal collector stamping sends (schedulers install theirs at
+        #: run start; the shared null object keeps the default free).
+        self.collector = NULL_COLLECTOR
 
     def submit(self, msg: Message) -> None:
         """Accept a message into the (src, dst) link buffer.
@@ -78,6 +82,10 @@ class Network:
             raise ValueError(f"message endpoints out of range: {msg!r}")
         self._links[(msg.src, msg.dst)].append(msg)
         self.stats.record_send(msg)
+        collector = self.collector
+        if collector.enabled:
+            collector.on_send(msg.src, msg.dst, msg.tag, seq=msg.seq,
+                              round=msg.round)
 
     def pending_links(self) -> list[tuple[int, int]]:
         """Links with at least one undelivered message (deterministic order)."""

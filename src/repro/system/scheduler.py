@@ -27,7 +27,9 @@ from typing import Any, Callable, Optional, Sequence
 import numpy as np
 
 from ..obs import metrics as _obs
+from ..obs.causal import get_causal_collector, use_causal_collector
 from ..obs.metrics import MetricsRegistry, active_registry, use_registry
+from ..obs.probes import Probe, ProbeReport, ProbeView
 from ..obs.tracer import NULL_SPAN, get_tracer, trace_span
 from .adversary import Adversary, AdversaryView
 from .ids import validate_system_size
@@ -79,6 +81,12 @@ class RunResult:
         protocol/geometry layers recorded during the run (e.g.
         ``geometry.delta_star.seconds``).  Use ``metrics.snapshot()`` for
         a plain-data view.
+    probes:
+        One :class:`~repro.obs.probes.ProbeReport` per installed probe
+        (empty when the run carried no probes).
+    causal:
+        The run's :class:`~repro.obs.causal.CausalCollector` when causal
+        collection was enabled, else ``None``.
     """
 
     decisions: dict[int, Any]
@@ -90,6 +98,13 @@ class RunResult:
     #: (round-or-step, message) pairs when recording was requested.
     transcript: Optional[list[tuple[int, Message]]] = None
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    probes: tuple[ProbeReport, ...] = ()
+    causal: Optional[Any] = None
+
+    @property
+    def probe_violations(self) -> int:
+        """Total invariant violations recorded across all probes."""
+        return sum(len(report.violations) for report in self.probes)
 
     @property
     def correct_decisions(self) -> dict[int, Any]:
@@ -133,6 +148,8 @@ class SynchronousScheduler:
         topology: Optional["Topology"] = None,
         record_transcript: bool = False,
         metrics: Optional[MetricsRegistry] = None,
+        probes: Sequence[Probe] = (),
+        collector: Optional[Any] = None,
     ):
         n = len(processes)
         validate_system_size(n, f)
@@ -161,15 +178,20 @@ class SynchronousScheduler:
             if metrics is not None
             else (active_registry() or MetricsRegistry())
         )
+        self.probes = tuple(probes)
+        self.collector = collector
         self.network = Network(n)
         self.contexts = _make_contexts(n, f, self.rng)
         self._adv_rng = np.random.default_rng(int(self.rng.integers(0, 2**63 - 1)))
 
     def run(self) -> RunResult:
         """Execute rounds until every correct process has decided (or cap)."""
-        with use_registry(self.metrics) as reg, trace_span(
-            "sched.sync.run", n=self.n, f=self.f
-        ):
+        if self.collector is None:
+            self.collector = get_causal_collector()
+        self.network.collector = self.collector
+        with use_causal_collector(self.collector), use_registry(
+            self.metrics
+        ) as reg, trace_span("sched.sync.run", n=self.n, f=self.f):
             return self._run(reg)
 
     def _run(self, reg: MetricsRegistry) -> RunResult:
@@ -181,8 +203,19 @@ class SynchronousScheduler:
         }
         completed = False
         rounds_done = 0
+        collector = self.collector
+        probe_view = (
+            ProbeView(self.n, self.f, self.contexts, self.processes,
+                      self.adversary.faulty)
+            if self.probes else None
+        )
+        if probe_view is not None:
+            for probe in self.probes:
+                probe.attach(probe_view)
         for r in range(self.max_rounds):
             rounds_done = r
+            if collector.enabled:
+                collector.now = r
             round_span = trace_span("sched.sync.round", round=r)
             with round_span:
                 correct_ids = [
@@ -250,6 +283,10 @@ class SynchronousScheduler:
                 )
                 inboxes = {pid: {} for pid in range(self.n)}
                 for msg in self.network.drain_all():
+                    send_eid = (
+                        collector.pop_send(msg.src, msg.dst)
+                        if collector.enabled else None
+                    )
                     if msg.is_atomic_broadcast:
                         targets: Sequence[int] = (
                             range(self.n)
@@ -259,10 +296,15 @@ class SynchronousScheduler:
                     else:
                         targets = (msg.dst,)
                     for dst in targets:
+                        if collector.enabled:
+                            collector.on_deliver(dst, send_eid, time=r)
                         inboxes[dst].setdefault(msg.src, []).append(
                             (msg.tag, msg.payload)
                         )
 
+                if probe_view is not None:
+                    for probe in self.probes:
+                        probe.on_boundary(probe_view, r)
                 if all(
                     self.contexts[pid].decided or self.contexts[pid].halted
                     for pid in correct_ids
@@ -273,6 +315,9 @@ class SynchronousScheduler:
 
         for pid, proc in self.processes.items():
             proc.on_stop(self.contexts[pid])
+        if probe_view is not None:
+            for probe in self.probes:
+                probe.on_finish(probe_view, rounds_done)
         decisions = {
             pid: ctx.decision for pid, ctx in self.contexts.items() if ctx.decided
         }
@@ -286,6 +331,8 @@ class SynchronousScheduler:
             completed=completed,
             transcript=transcript,
             metrics=reg,
+            probes=tuple(probe.report() for probe in self.probes),
+            causal=self.collector if self.collector.enabled else None,
         )
 
 
@@ -362,6 +409,9 @@ class AsyncScheduler:
         stop_when_correct_decided: bool = True,
         record_transcript: bool = False,
         metrics: Optional[MetricsRegistry] = None,
+        probes: Sequence[Probe] = (),
+        probe_interval: int = 25,
+        collector: Optional[Any] = None,
     ):
         n = len(processes)
         validate_system_size(n, f)
@@ -387,6 +437,9 @@ class AsyncScheduler:
             if metrics is not None
             else (active_registry() or MetricsRegistry())
         )
+        self.probes = tuple(probes)
+        self.probe_interval = max(1, int(probe_interval))
+        self.collector = collector
         self.network = Network(n)
         self.contexts = _make_contexts(n, f, self.rng)
         self._adv_rng = np.random.default_rng(int(self.rng.integers(0, 2**63 - 1)))
@@ -412,7 +465,12 @@ class AsyncScheduler:
 
     def run(self) -> RunResult:
         """Deliver messages until all correct processes decide (or cap)."""
-        with use_registry(self.metrics) as reg, trace_span(
+        if self.collector is None:
+            self.collector = get_causal_collector()
+        self.network.collector = self.collector
+        with use_causal_collector(self.collector), use_registry(
+            self.metrics
+        ) as reg, trace_span(
             "sched.async.run",
             n=self.n,
             f=self.f,
@@ -427,6 +485,17 @@ class AsyncScheduler:
         queue_gauge = reg.gauge(
             f"sched.async.queue_depth.{type(self.policy).__name__}"
         )
+        collector = self.collector
+        if collector.enabled:
+            collector.now = 0
+        probe_view = (
+            ProbeView(self.n, self.f, self.contexts, self.processes,
+                      self.adversary.faulty)
+            if self.probes else None
+        )
+        if probe_view is not None:
+            for probe in self.probes:
+                probe.attach(probe_view)
         for pid in range(self.n):
             self.processes[pid].on_start(self.contexts[pid])
             self._flush_outbox(pid)
@@ -448,6 +517,10 @@ class AsyncScheduler:
             link = self.policy.choose(links, self.network, self.rng)
             msg = self.network.pop(link)
             steps += 1
+            send_eid = None
+            if collector.enabled:
+                collector.now = steps
+                send_eid = collector.pop_send(msg.src, msg.dst)
             if transcript is not None:
                 transcript.append((steps, msg))
             tracer = get_tracer()
@@ -463,13 +536,21 @@ class AsyncScheduler:
                     ctx = self.contexts[dst]
                     if ctx.halted:
                         continue
+                    if collector.enabled:
+                        collector.on_deliver(dst, send_eid, time=steps)
                     self.processes[dst].on_message(
                         ctx, msg.src, msg.tag, msg.payload
                     )
                     self._flush_outbox(dst)
+            if probe_view is not None and steps % self.probe_interval == 0:
+                for probe in self.probes:
+                    probe.on_boundary(probe_view, steps)
 
         for pid, proc in self.processes.items():
             proc.on_stop(self.contexts[pid])
+        if probe_view is not None:
+            for probe in self.probes:
+                probe.on_finish(probe_view, steps)
         decisions = {
             pid: ctx.decision for pid, ctx in self.contexts.items() if ctx.decided
         }
@@ -485,4 +566,6 @@ class AsyncScheduler:
             completed=completed,
             transcript=transcript,
             metrics=reg,
+            probes=tuple(probe.report() for probe in self.probes),
+            causal=self.collector if self.collector.enabled else None,
         )

@@ -1,0 +1,18 @@
+# repro: lint-as system/fixture_obs001.py
+"""Fixture: off-namespace telemetry names -> OBS001 findings only.
+
+The first two calls break the dotted-lowercase shape, the third is a
+histogram without a unit suffix; the conforming calls (and the f-string,
+which is out of static reach) stay clean.
+"""
+
+from repro.obs import metrics, trace_event
+
+
+def emit(component: str) -> None:
+    metrics.inc("MessagesSent")                     # not dotted
+    trace_event("sched.Async.step")                 # upper-case segment
+    metrics.observe("sched.round_latency", 0.1)     # histogram, no unit
+    metrics.inc("sched.sync.rounds")                # conforming
+    metrics.observe("sched.round.seconds", 0.1)     # conforming
+    metrics.inc(f"probe.{component}.violations")    # f-string: skipped

@@ -19,6 +19,7 @@ FIXTURE_RULES = {
     "res001_inline_bound.py": "RES001",
     "hyg001_module_state.py": "HYG001",
     "hyg002_retain_forward.py": "HYG002",
+    "obs001_bad_metric_name.py": "OBS001",
 }
 
 
@@ -35,7 +36,7 @@ def test_get_rule_unknown_id():
 def test_every_fixture_exists_for_every_rule_family():
     families = {get_rule(rid).family for rid in FIXTURE_RULES.values()}
     assert families == {"determinism", "float-safety", "resilience-bounds",
-                        "handler-hygiene"}
+                        "handler-hygiene", "observability"}
 
 
 @pytest.mark.parametrize("fixture,rule_id", sorted(FIXTURE_RULES.items()))

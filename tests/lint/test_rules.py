@@ -161,3 +161,52 @@ class TestHandlerHygiene:
     def test_scope_excludes_other_system_modules(self):
         src = handler("STATE[src] = payload")
         assert rules_in(src, "system/network.py") == []
+
+
+# -- observability naming (OBS001) -------------------------------------------
+
+class TestObservabilityNaming:
+    def test_undotted_name_flagged(self):
+        src = 'from repro.obs import metrics\nmetrics.inc("MessagesSent")\n'
+        assert rules_in(src, "system/x.py") == ["OBS001"]
+
+    def test_uppercase_segment_flagged(self):
+        src = 'from repro.obs import trace_event\ntrace_event("sched.Async.step")\n'
+        assert rules_in(src, "obs/x.py") == ["OBS001"]
+
+    def test_histogram_requires_unit_suffix(self):
+        bad = 'from repro.obs import metrics\nmetrics.observe("sched.round_latency", 0.1)\n'
+        ok = 'from repro.obs import metrics\nmetrics.observe("sched.round.seconds", 0.1)\n'
+        assert rules_in(bad, "system/x.py") == ["OBS001"]
+        assert rules_in(ok, "system/x.py") == []
+
+    def test_timed_exempt_from_unit_suffix(self):
+        # timed() appends .seconds itself, so the plain dotted name is right
+        src = (
+            "from repro.obs import timed\n"
+            '@timed("geometry.delta_star")\n'
+            "def solve():\n"
+            "    pass\n"
+        )
+        assert rules_in(src, "geometry/x.py") == []
+
+    def test_fstring_and_variable_names_skipped(self):
+        src = (
+            "from repro.obs import metrics\n"
+            'metrics.inc(f"probe.{name}.violations")\n'
+            "metrics.inc(name)\n"
+        )
+        assert rules_in(src, "obs/x.py") == []
+
+    def test_conforming_names_clean(self):
+        src = (
+            "from repro.obs import metrics, trace_span\n"
+            'metrics.inc("bcast.bracha.echo")\n'
+            'with trace_span("sched.sync.round"):\n'
+            "    pass\n"
+        )
+        assert rules_in(src, "system/x.py") == []
+
+    def test_tests_are_out_of_scope(self):
+        src = 'from repro.obs import metrics\nmetrics.inc("msgs")\n'
+        assert rules_in(src, "tests/obs/x.py") == []

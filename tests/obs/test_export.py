@@ -45,9 +45,11 @@ class TestRoundTrip:
         path = tmp_path / "trace.jsonl"
         lines = write_jsonl(path, tracer, registry)
         records = trace_to_records(tracer, registry)
-        assert lines == len(records) == 5  # 3 spans + 1 event + metrics
+        # written file = 1 header + 3 spans + 1 event + metrics
+        assert lines == len(records) + 1 == 6
         loaded = read_jsonl(path)
-        assert loaded == json.loads(json.dumps(records))  # full fidelity
+        assert loaded[0]["type"] == "header"
+        assert loaded[1:] == json.loads(json.dumps(records))  # full fidelity
 
     def test_numpy_tags_serialised(self, tmp_path):
         tracer = Tracer()
@@ -56,7 +58,8 @@ class TestRoundTrip:
                 pass
         path = tmp_path / "np.jsonl"
         write_jsonl(path, tracer)
-        (rec,) = read_jsonl(path)
+        header, rec = read_jsonl(path)
+        assert header["type"] == "header"
         assert rec["tags"] == {"value": 0.5, "vec": [0, 1, 2]}
 
     def test_invalid_json_rejected(self, tmp_path):
@@ -115,3 +118,68 @@ class TestRenderers:
         assert "no spans" in render_flame([])
         assert "no spans" in render_summary([])
         assert metrics_record([]) is None
+
+
+class TestHeader:
+    def test_header_carries_run_identity(self, tmp_path):
+        from repro.obs import SCHEMA_VERSION, header_record
+
+        tracer, registry = _sample_trace()
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(path, tracer, registry, run_id="abc123")
+        header = read_jsonl(path)[0]
+        assert header["type"] == "header"
+        assert header["schema"] == SCHEMA_VERSION
+        assert header["run_id"] == "abc123"
+        assert header["wall_time"] > 0
+        fresh = header_record()
+        assert fresh["run_id"]  # generated when not supplied
+
+    def test_headerless_files_still_accepted(self, tmp_path):
+        # files written before schema 2 carry no header record
+        tracer, registry = _sample_trace()
+        records = trace_to_records(tracer, registry)
+        path = tmp_path / "old.jsonl"
+        path.write_text(
+            "".join(json.dumps(r) + "\n" for r in records), encoding="utf-8"
+        )
+        loaded = read_jsonl(path)
+        assert [r["type"] for r in loaded][0] == "span"
+
+    def test_header_must_be_first(self):
+        from repro.obs import header_record
+
+        with pytest.raises(ValueError, match="header"):
+            validate_records(
+                [{"type": "event", "t": 0.0, "name": "x.y", "level": "info",
+                  "fields": {}},
+                 header_record()]
+            )
+
+    def test_at_most_one_header(self):
+        from repro.obs import header_record
+
+        with pytest.raises(ValueError, match="header"):
+            validate_records([header_record(), header_record()])
+
+    def test_incomplete_header_rejected(self):
+        with pytest.raises(ValueError):
+            validate_records([{"type": "header", "schema": 2}])
+
+    def test_causal_records_validate_in_stream(self, tmp_path):
+        from repro.obs.causal import CausalCollector
+
+        collector = CausalCollector(2)
+        collector.on_send(0, 1, "m", time=0)
+        collector.on_deliver(1, collector.pop_send(0, 1), time=0)
+        tracer, registry = _sample_trace()
+        path = tmp_path / "full.jsonl"
+        write_jsonl(path, tracer, registry, collector=collector)
+        loaded = read_jsonl(path)
+        kinds = [r["type"] for r in loaded]
+        assert kinds[0] == "header"
+        assert "causal" in kinds
+
+    def test_malformed_causal_record_rejected(self):
+        with pytest.raises(ValueError, match="causal"):
+            validate_records([{"type": "causal", "eid": 0}])

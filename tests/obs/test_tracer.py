@@ -128,3 +128,57 @@ class TestEvents:
     def test_bad_level_rejected(self):
         with pytest.raises(ValueError):
             Tracer(level="chatty")
+
+
+class TestEdgeCases:
+    def test_open_span_exports_with_null_t1(self):
+        # A span never exited (crash mid-run) must still export cleanly:
+        # t1 stays None in the record and duration reads as 0.0.
+        from repro.obs import trace_to_records, validate_records
+
+        t = Tracer()
+        with use_tracer(t):
+            span = trace_span("sched.sync.run")
+            span.__enter__()  # deliberately never exited
+            with trace_span("sched.sync.round", round=0):
+                pass
+        open_rec = next(s for s in t.spans if s.name == "sched.sync.run")
+        assert open_rec.t1 is None
+        assert open_rec.duration == 0.0
+        # the nested span still parented under the open one
+        inner = next(s for s in t.spans if s.name == "sched.sync.round")
+        assert inner.parent_id == open_rec.span_id
+        records = trace_to_records(tracer=t)
+        validate_records(records)
+        exported = next(r for r in records if r["name"] == "sched.sync.run")
+        assert exported["t1"] is None
+
+    def test_event_at_exact_threshold_kept(self):
+        # filtering is >= threshold, not >: an info event on an info
+        # tracer (and warning on warning) is recorded, not dropped
+        t = Tracer(level="info")
+        with use_tracer(t):
+            trace_event("at.threshold", level="info")
+        assert [e.name for e in t.events] == ["at.threshold"]
+        tw = Tracer(level="warning")
+        with use_tracer(tw):
+            trace_event("warn.threshold", level="warning")
+        assert [e.name for e in tw.events] == ["warn.threshold"]
+
+    def test_use_tracer_restores_on_error(self):
+        t = Tracer()
+        with pytest.raises(RuntimeError):
+            with use_tracer(t):
+                assert get_tracer() is t
+                raise RuntimeError("boom")
+        assert get_tracer() is NULL_TRACER
+
+    def test_use_tracer_restores_previous_tracer_on_error(self):
+        outer = Tracer()
+        inner = Tracer()
+        with use_tracer(outer):
+            with pytest.raises(ValueError):
+                with use_tracer(inner):
+                    raise ValueError("boom")
+            assert get_tracer() is outer
+        assert get_tracer() is NULL_TRACER

@@ -267,3 +267,57 @@ class TestSweep:
     def test_bad_int_list_exits_two(self, capsys):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--d", "2,x"])
+
+
+class TestExplainCLI:
+    BASE = ["explain", "--algorithm", "algo", "--d", "2", "--f", "1",
+            "--seed", "11"]
+
+    def test_cone_text(self, capsys):
+        assert main(self.BASE) == 0
+        out = capsys.readouterr().out
+        assert "causal cone" in out and "decide" in out
+
+    def test_timeline_format(self, capsys):
+        assert main(self.BASE + ["--format", "timeline"]) == 0
+        assert "t=0" in capsys.readouterr().out
+
+    def test_json_format_parses(self, capsys):
+        import json as _json
+
+        assert main(self.BASE + ["--format", "json", "--quiet"]) == 0
+        doc = _json.loads(capsys.readouterr().out)
+        assert doc["cone_size"] > 0
+
+    def test_dot_format(self, capsys):
+        assert main(self.BASE + ["--format", "dot", "--quiet"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_causal_out_writes_valid_jsonl(self, tmp_path, capsys):
+        from repro.obs import read_jsonl
+
+        path = tmp_path / "causal.jsonl"
+        assert main(self.BASE + ["--causal-out", str(path)]) == 0
+        records = read_jsonl(path)
+        assert records[0]["type"] == "header"
+        assert any(r["type"] == "causal" for r in records[1:])
+
+    def test_probes_reported(self, capsys):
+        assert main(self.BASE + ["--probes", "all"]) == 0
+        out = capsys.readouterr().out
+        for name in ("validity", "agreement", "broadcast"):
+            assert f"probe {name}: ok" in out
+
+
+class TestReplayProbesCLI:
+    def test_replay_with_probes_prints_reports(self, capsys):
+        from repro.dst import encode_token
+        from repro.dst.scenarios import Scenario
+
+        token = encode_token(
+            Scenario(algorithm="algo", n=6, d=2, f=1, seed=3,
+                     inject="split-brain"))
+        assert main(["replay", "--token", token, "--probes", "all"]) == 1
+        out = capsys.readouterr().out
+        assert "probe validity" in out
+        assert "probe agreement" in out
