@@ -15,6 +15,12 @@ Commands
 ``explain``   run one spec under causal tracing and reconstruct the
               provenance (causal cone) of a process's decision
 ``trace``     run any other command under the tracer, dump JSONL + summary
+``bench``     throughput benchmark over a standard grid with per-phase
+              timing (BENCH_perf.json), or diff two BENCH files under a
+              regression threshold (``--compare OLD NEW``)
+``metrics``   Prometheus text-format snapshots: ``serve`` a scrapeable
+              endpoint, ``snapshot`` to stdout/file, ``diff`` counter
+              deltas between two exported JSONL traces
 ``lint``      protocol-aware static analysis (determinism/float-safety/
               resilience-bounds/handler-hygiene rule families)
 
@@ -41,6 +47,10 @@ Examples::
     python -m repro explain --algorithm algo --d 2 --f 1 --pid 0 --probes all
     python -m repro explain --algorithm averaging --format dot --out cone.dot
     python -m repro trace --out run.jsonl demo --d 3
+    python -m repro bench --grid tiny --out BENCH_perf.json
+    python -m repro bench --compare BENCH_perf.json BENCH_new.json
+    python -m repro metrics serve --demo --port 9464 --max-requests 1
+    python -m repro metrics snapshot --from run.jsonl
     python -m repro lint src/repro benchmarks examples
     python -m repro lint --list-rules
 """
@@ -499,6 +509,213 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis.profiling import render_hot_phases, render_phase_flame
+    from .exec.bench import bench_grid, compare_bench, run_bench
+
+    if args.compare:
+        old_path, new_path = args.compare
+        docs = []
+        for path in (old_path, new_path):
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    docs.append(json.load(fh))
+            except (OSError, ValueError) as exc:
+                return _fail(f"cannot load BENCH file {path!r}: {exc}")
+        try:
+            report = compare_bench(docs[0], docs[1],
+                                   max_regression=args.max_regression)
+        except ValueError as exc:
+            return _fail(str(exc))
+        print(f"compared {report['cells_compared']} shared cells "
+              f"(threshold: {report['max_regression']:.0%} drop)")
+        if report["environment_changed"]:
+            print("note: environment changed between documents "
+                  "(different machine/cpu_count) — wall-clock deltas are "
+                  "not regressions")
+        if not report["same_grid"]:
+            print("note: grids differ; only shared cells compared, "
+                  "no overall verdict")
+        elif report["overall_drop"] is not None and not args.quiet:
+            print(f"overall decisions/sec drop: {report['overall_drop']:+.1%}")
+        for row in report["regressions"]:
+            print(f"REGRESSION {row['key']}: "
+                  f"{row['old_decisions_per_second']} -> "
+                  f"{row['new_decisions_per_second']} decisions/sec "
+                  f"({row['drop']:+.1%})")
+        if not args.quiet:
+            for row in report["improvements"]:
+                print(f"improvement {row['key']}: "
+                      f"{row['old_decisions_per_second']} -> "
+                      f"{row['new_decisions_per_second']} decisions/sec")
+        print("bench comparison: " + ("OK" if report["ok"] else
+                                      f"{len(report['regressions'])} "
+                                      f"regression(s)"))
+        return 0 if report["ok"] else 1
+
+    try:
+        grid = bench_grid(args.grid)
+    except ValueError as exc:
+        return _fail(str(exc))
+    if args.workers < 1:
+        return _fail(f"--workers must be >= 1, got {args.workers}")
+    doc = run_bench(grid, grid_name=args.grid, workers=args.workers)
+    env = doc["environment"]
+    print(f"bench grid {args.grid!r}: {doc['trial_count']} trials "
+          f"({doc['skipped_trials']} skipped), {doc['ok_count']} ok, "
+          f"{doc['wall_seconds']:.3f}s "
+          f"[cpu_count={env['cpu_count']} python={env['python']} "
+          f"numpy={env['numpy']}]")
+    tp = doc["throughput"]
+    print(f"throughput: {tp['decisions_per_second']} decisions/sec "
+          f"({tp['decisions_total']} decisions, "
+          f"{tp['trials_per_second']} trials/sec)")
+    if not args.quiet:
+        for cell in doc["cells"]:
+            print(f"  {cell['key']}: {cell['decisions_per_second']} "
+                  f"decisions/sec over {cell['trials']} trials "
+                  f"({cell['rounds_mean']} rounds avg)")
+    if "parallel" in doc:
+        par = doc["parallel"]
+        label = (f"{par['speedup']}x" if par["speedup"] is not None
+                 else f"unmeasurable ({par['note']})")
+        print(f"parallel x{par['workers']}: {par['wall_seconds']:.3f}s, "
+              f"identical={par['identical']}, speedup {label}")
+    snapshot = {"schema": doc["schema"], "phases": doc["phases"],
+                "cache": doc["cache"]}
+    if not args.quiet:
+        print()
+        print(render_hot_phases(snapshot, top=args.hot))
+    if args.flame:
+        print()
+        print(render_phase_flame(snapshot))
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        except OSError as exc:
+            return _fail(f"cannot write {args.out!r}: {exc}")
+        if not args.quiet:
+            print(f"wrote {args.out}")
+    return 0 if doc["ok_count"] == doc["trial_count"] else 1
+
+
+def _demo_sources() -> tuple:
+    """Populate a registry + profiler with a tiny instrumented workload."""
+    from .core import RunSpec, run
+    from .obs import MetricsRegistry, PhaseProfiler, use_profiler, use_registry
+
+    registry = MetricsRegistry()
+    profiler = PhaseProfiler()
+    with use_registry(registry), use_profiler(profiler):
+        run(RunSpec(algorithm="algo", n=6, d=2, f=1, seed=11))
+        run(RunSpec(algorithm="averaging", n=6, d=2, f=1, seed=7))
+    return registry, profiler
+
+
+def _metrics_exposition(args: argparse.Namespace) -> "str | int":
+    """Build the exposition text for metrics snapshot/serve (or exit code)."""
+    from .analysis.profiling import metrics_record
+    from .obs import get_profiler, global_registry, read_jsonl
+    from .obs.prom import render_exposition
+
+    if getattr(args, "from_jsonl", None):
+        try:
+            records = read_jsonl(args.from_jsonl)
+        except (OSError, ValueError) as exc:
+            return _fail(f"cannot read {args.from_jsonl!r}: {exc}")
+        snap = metrics_record(records)
+        if snap is None:
+            return _fail(f"{args.from_jsonl!r} holds no metrics record")
+        return render_exposition(snap)
+    if getattr(args, "demo", False):
+        registry, profiler = _demo_sources()
+        return render_exposition(registry.snapshot(), profiler.snapshot())
+    return render_exposition(
+        global_registry().snapshot(), get_profiler().snapshot()
+    )
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .analysis.profiling import metrics_record
+    from .obs import read_jsonl
+    from .obs.prom import diff_counter_snapshots, serve_metrics
+
+    if args.action == "snapshot":
+        text = _metrics_exposition(args)
+        if isinstance(text, int):
+            return text
+        if args.out:
+            try:
+                with open(args.out, "w", encoding="utf-8") as fh:
+                    fh.write(text)
+            except OSError as exc:
+                return _fail(f"cannot write {args.out!r}: {exc}")
+            if not args.quiet:
+                print(f"wrote {args.out}")
+        else:
+            print(text, end="")
+        return 0
+
+    if args.action == "diff":
+        if len(args.files) != 2:
+            return _fail("metrics diff needs exactly two JSONL files")
+        snaps = []
+        for path in args.files:
+            try:
+                records = read_jsonl(path)
+            except (OSError, ValueError) as exc:
+                return _fail(f"cannot read {path!r}: {exc}")
+            snap = metrics_record(records)
+            if snap is None:
+                return _fail(f"{path!r} holds no metrics record")
+            snaps.append(snap)
+        deltas = diff_counter_snapshots(snaps[0], snaps[1])
+        if not deltas:
+            print("no counter deltas")
+            return 0
+        width = max(len(name) for name in deltas)
+        for name, delta in deltas.items():
+            print(f"  {name.ljust(width)}  {delta:+g}")
+        return 0
+
+    # serve
+    text_or_code = _metrics_exposition(args)
+    if isinstance(text_or_code, int):
+        return text_or_code
+    if args.from_jsonl or args.demo:
+        # static snapshot: every scrape returns the same document
+        static_text = text_or_code
+
+        def source() -> str:
+            return static_text
+    else:
+        def source() -> str:
+            live = _metrics_exposition(args)
+            assert isinstance(live, str)
+            return live
+
+    try:
+        server = serve_metrics(source, host=args.host, port=args.port,
+                               max_requests=args.max_requests)
+    except OSError as exc:
+        return _fail(f"cannot bind {args.host}:{args.port}: {exc}")
+    host, port = server.address
+    print(f"serving Prometheus metrics on http://{host}:{port}/metrics"
+          + (f" (exiting after {args.max_requests} request(s))"
+             if args.max_requests else ""), flush=True)
+    try:
+        served = server.serve_forever()
+    except KeyboardInterrupt:
+        return 0
+    if not args.quiet:
+        print(f"served {served} request(s)")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .lint import cli as lint_cli
 
@@ -716,6 +933,62 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--causal-out", default=None,
                    help="also dump the full causal event log as JSONL")
     p.set_defaults(func=_cmd_explain)
+
+    p = sub.add_parser(
+        "bench", parents=[common],
+        help="throughput benchmark over a standard grid, with per-phase "
+             "timing; or diff two BENCH files (--compare)",
+    )
+    p.add_argument("--grid", default="small",
+                   choices=["tiny", "small", "standard"],
+                   help="named standard grid (default small; tiny is the "
+                        "CI smoke grid)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="add a parallel pass with N workers (speedup is "
+                        "reported only when cpu_count > 1; flagged "
+                        "unmeasurable on a 1-core machine)")
+    p.add_argument("--hot", type=int, default=10,
+                   help="rows in the hot-phase table (default 10)")
+    p.add_argument("--flame", action="store_true",
+                   help="also print the aggregated phase-path tree")
+    p.add_argument("--out", default=None,
+                   help="write the BENCH document as JSON "
+                        "(BENCH_perf.json by convention)")
+    p.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"), default=None,
+                   help="diff two BENCH JSON files instead of running; "
+                        "exit 1 when throughput regressed beyond "
+                        "--max-regression")
+    p.add_argument("--max-regression", type=float, default=0.5,
+                   help="allowed fractional decisions/sec drop before "
+                        "--compare fails (default 0.5)")
+    p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "metrics", parents=[common],
+        help="Prometheus text-format metrics: serve / snapshot / diff",
+    )
+    p.add_argument("action", choices=["serve", "snapshot", "diff"],
+                   help="serve: HTTP endpoint at /metrics; snapshot: "
+                        "exposition text to stdout/--out; diff: counter "
+                        "deltas between two exported JSONL traces")
+    p.add_argument("files", nargs="*",
+                   help="for diff: OLD.jsonl NEW.jsonl")
+    p.add_argument("--from", dest="from_jsonl", default=None,
+                   help="serve/snapshot the metrics record of an exported "
+                        "JSONL trace instead of the live registry")
+    p.add_argument("--demo", action="store_true",
+                   help="populate the metrics from a small instrumented "
+                        "demo workload first (so a fresh process has "
+                        "something to scrape)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="serve: bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=9464,
+                   help="serve: TCP port; 0 picks a free port (default 9464)")
+    p.add_argument("--max-requests", type=int, default=None,
+                   help="serve: exit after N scrapes (CI smoke uses 1)")
+    p.add_argument("--out", default=None,
+                   help="snapshot: write the exposition text to this file")
+    p.set_defaults(func=_cmd_metrics)
 
     p = sub.add_parser(
         "lint", parents=[common],

@@ -6,6 +6,8 @@ from .profiling import (
     SpanStats,
     metrics_record,
     render_flame,
+    render_hot_phases,
+    render_phase_flame,
     render_summary,
     summarize_spans,
 )
@@ -49,6 +51,8 @@ __all__ = [
     "SpanStats",
     "metrics_record",
     "render_flame",
+    "render_hot_phases",
+    "render_phase_flame",
     "render_summary",
     "render_transcript",
     "summarize_spans",

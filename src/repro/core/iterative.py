@@ -38,6 +38,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..geometry.intersections import gamma_point
+from ..obs.perf import perf_phase
 from ..system.process import Context, Inbox, SyncProcess
 from ..system.topology import Topology
 
@@ -60,11 +61,12 @@ def iterative_update(
     """
     if not 0 < alpha <= 1:
         raise ValueError(f"alpha must be in (0, 1], got {alpha}")
-    M = np.vstack([own[None, :]] + [v[None, :] for v in neighbour_values])
-    point = gamma_point(M, f)
-    if point is None:
-        return own.copy()
-    return (1.0 - alpha) * own + alpha * point
+    with perf_phase("iterative.update"):
+        M = np.vstack([own[None, :]] + [v[None, :] for v in neighbour_values])
+        point = gamma_point(M, f)
+        if point is None:
+            return own.copy()
+        return (1.0 - alpha) * own + alpha * point
 
 
 class IterativeBVCProcess(SyncProcess):

@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Callable, Optional, Sequence, Union
 import numpy as np
 
 from ..obs.metrics import use_registry
+from ..obs.perf import perf_phase
 from ..obs.probes import Probe, ProbeReport, build_probes
 from ..system.adversary import Adversary
 from ..system.crypto import SignatureScheme
@@ -366,8 +367,10 @@ def run(spec: RunSpec) -> ConsensusOutcome:
     handler = _HANDLERS[spec.algorithm]
     if spec.metrics is not None:
         with use_registry(spec.metrics):
-            return handler(spec)
-    return handler(spec)
+            with perf_phase("core.run"):
+                return handler(spec)
+    with perf_phase("core.run"):
+        return handler(spec)
 
 
 # ---------------------------------------------------------------------------

@@ -14,6 +14,14 @@ checks this; ``python -m repro sweep`` exposes it).
 True
 """
 
+from .bench import (
+    BENCH_SCHEMA,
+    STANDARD_GRIDS,
+    bench_grid,
+    compare_bench,
+    environment_block,
+    run_bench,
+)
 from .engine import compare_grid, run_grid, run_sweep, run_trial
 from .grid import (
     ADVERSARIES,
@@ -28,17 +36,23 @@ from .results import SweepResult, TrialResult, decisions_to_hex, hex_to_decision
 
 __all__ = [
     "ADVERSARIES",
+    "BENCH_SCHEMA",
+    "STANDARD_GRIDS",
     "SweepGrid",
     "SweepResult",
     "TrialResult",
     "TrialSpec",
+    "bench_grid",
     "build_adversary",
     "build_runspec",
+    "compare_bench",
     "compare_grid",
     "decisions_to_hex",
     "derive_trial_seed",
+    "environment_block",
     "hex_to_decisions",
     "min_trial_size",
+    "run_bench",
     "run_grid",
     "run_sweep",
     "run_trial",

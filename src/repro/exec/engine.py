@@ -196,10 +196,11 @@ def compare_grid(
     parallel = run_grid(grid, workers=workers, chunksize=chunksize)
     serial_digest = serial.decisions_digest()
     parallel_digest = parallel.decisions_digest()
+    cpu_count = os.cpu_count() or 1
     doc: dict[str, Any] = {
         "schema": "repro.exec.compare/1",
         "grid": grid.to_dict(),
-        "cpu_count": os.cpu_count() or 1,
+        "cpu_count": cpu_count,
         "trial_count": serial.trial_count,
         "skipped_trials": serial.skipped_trials,
         "identical": serial_digest == parallel_digest,
@@ -216,6 +217,14 @@ def compare_grid(
         "summary": serial.summary(),
         "trials": [t.to_dict() for t in serial.trials],
     }
+    if cpu_count == 1:
+        # A 1-core box time-shares the pool: the ratio measures scheduler
+        # overhead, not parallelism.  Never report it as a speedup.
+        doc["parallel_speedup"] = None
+        doc["parallel_speedup_note"] = (
+            "unmeasurable: cpu_count == 1 — parallel workers time-share a "
+            "single core, so the wall-clock ratio is not a speedup"
+        )
     if measure_cache:
         was_enabled = set_cache_enabled(False)
         try:

@@ -33,6 +33,7 @@ from typing import Any, Callable, Iterator, Optional, Sequence, Union
 import numpy as np
 
 from ..obs import metrics as _obs
+from ..obs.perf import perf_phase
 from .cache import cached_kernel
 from .intersections import intersection_point
 from .relaxed import DeltaPHull, KRelaxedHull
@@ -219,7 +220,8 @@ def tverberg_partition(
     reg.inc("geometry.tverberg.calls")
     t0 = time.perf_counter()
     try:
-        return _tverberg_search(pts, r, hull_kind, **kwargs)
+        with perf_phase("geometry.tverberg"):
+            return _tverberg_search(pts, r, hull_kind, **kwargs)
     finally:
         reg.observe("geometry.tverberg.seconds", time.perf_counter() - t0)
 

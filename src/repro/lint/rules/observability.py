@@ -16,6 +16,12 @@ Rules
   with at least two segments, and duration/size histograms
   (``observe``/``histogram``) must end in a unit suffix (``.seconds``,
   ``.bytes``) so the roll-up's ``<name>.total`` stays unambiguous.
+  Perf-profiler phases (``perf_phase``/``phase``) are span-like names in
+  the same namespace: dotted lowercase required, no unit suffix (their
+  histograms are rendered under an explicit ``_seconds`` family name by
+  :mod:`repro.obs.prom`).  ``note_cache`` is exempt: its argument is a
+  bare kernel name (``delta_star``), a key into the cache counters, not
+  a telemetry path.
 
 F-string names (``f"probe.{self.name}.violations"``) are skipped: the
 rule checks only what it can read statically.
@@ -41,6 +47,7 @@ _NAMED_CALLS = frozenset(
     {
         "inc", "observe", "set_gauge", "counter", "gauge", "histogram",
         "span", "event", "timed", "trace_span", "trace_event",
+        "phase", "perf_phase",
     }
 )
 

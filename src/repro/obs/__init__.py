@@ -51,6 +51,16 @@ from .metrics import (
     global_registry,
     use_registry,
 )
+from .perf import (
+    NULL_PROFILER,
+    FixedBucketHistogram,
+    NullPhaseProfiler,
+    PhaseProfiler,
+    get_profiler,
+    perf_phase,
+    set_profiler,
+    use_profiler,
+)
 from .probes import (
     PROBE_NAMES,
     AgreementConvergenceProbe,
@@ -82,14 +92,18 @@ __all__ = [
     "CausalEvent",
     "Counter",
     "EventRecord",
+    "FixedBucketHistogram",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_COLLECTOR",
+    "NULL_PROFILER",
     "NULL_TRACER",
     "NullCausalCollector",
+    "NullPhaseProfiler",
     "NullTracer",
     "PROBE_NAMES",
+    "PhaseProfiler",
     "Probe",
     "ProbeReport",
     "ProbeView",
@@ -102,19 +116,23 @@ __all__ = [
     "current_registry",
     "dump_jsonl",
     "get_causal_collector",
+    "get_profiler",
     "get_tracer",
     "global_registry",
     "header_record",
     "note_decision",
     "note_iteration",
+    "perf_phase",
     "read_jsonl",
     "set_causal_collector",
+    "set_profiler",
     "set_tracer",
     "timed",
     "trace_event",
     "trace_span",
     "trace_to_records",
     "use_causal_collector",
+    "use_profiler",
     "use_registry",
     "use_tracer",
     "validate_records",

@@ -1,0 +1,372 @@
+"""Performance observability: hierarchical phase timers, zero cost when off.
+
+The correctness side of ``repro.obs`` (tracer, causal collector, probes)
+answers *what happened*; this module answers *where the time went*.  A
+:class:`PhaseProfiler` records a tree of **phases** — run → round →
+protocol phase → geometry kernel — keyed by their slash-joined path
+(``core.run/sched.round/averaging.select/geometry.delta_star``), with a
+fixed-bucket latency histogram and a wall/CPU split per node.
+
+The contract matches :data:`~repro.obs.causal.NULL_COLLECTOR` and
+:data:`~repro.obs.tracer.NULL_TRACER` exactly: the default profiler is
+the shared :data:`NULL_PROFILER` whose ``enabled`` flag is false, and
+:func:`perf_phase` returns one preallocated no-op context manager, so
+instrumented hot paths perform no allocation and no clock reads unless a
+real profiler has been installed (``use_profiler``/``set_profiler``).
+Profiling never changes a run: sweep decision digests are bit-identical
+profiler on vs off (pinned by ``tests/obs/test_perf_identity.py``).
+
+Unlike :class:`~repro.obs.metrics.Histogram` (exact samples, unbounded
+memory), :class:`FixedBucketHistogram` keeps O(1) state per phase — a
+geometric bucket ladder from 1µs to ~2min — so profiling a million async
+steps costs the same memory as profiling ten.  Buckets map directly onto
+Prometheus histogram semantics (cumulative ``le`` counts; see
+:mod:`repro.obs.prom`).
+
+Usage::
+
+    from repro.obs import PhaseProfiler, use_profiler, perf_phase
+
+    profiler = PhaseProfiler()
+    with use_profiler(profiler):
+        with perf_phase("core.run"):
+            ...
+    profiler.snapshot()     # JSON-able {path: aggregate} document
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional, Union
+
+__all__ = [
+    "BUCKET_BOUNDS",
+    "FixedBucketHistogram",
+    "NULL_PROFILER",
+    "NullPhaseProfiler",
+    "PERF_SCHEMA",
+    "PhaseProfiler",
+    "get_profiler",
+    "perf_phase",
+    "rollup_phases",
+    "set_profiler",
+    "use_profiler",
+]
+
+PERF_SCHEMA = "repro.obs.perf/1"
+
+#: Geometric bucket ladder: 1µs · 2^i for i in 0..26 (≈1µs .. ≈67s).
+#: Samples above the last bound land in the overflow bucket.
+BUCKET_BOUNDS: tuple[float, ...] = tuple(1e-6 * 2.0**i for i in range(27))
+
+
+class FixedBucketHistogram:
+    """Latency histogram over a fixed geometric bucket ladder.
+
+    O(1) memory per phase regardless of sample count; quantiles are
+    bucket-resolution estimates (exact ``min``/``max``/``total`` are kept
+    alongside).  The per-bucket counts are *non-cumulative*; renderers
+    that need Prometheus-style cumulative ``le`` counts accumulate at
+    render time.
+    """
+
+    __slots__ = ("counts", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(BUCKET_BOUNDS) + 1)  # +1 = overflow
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        lo, hi = 0, len(BUCKET_BOUNDS)
+        while lo < hi:  # first bound >= value (bisect, no import churn)
+            mid = (lo + hi) // 2
+            if BUCKET_BOUNDS[mid] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.counts[lo] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution estimate of the ``q``-quantile (0 <= q <= 1).
+
+        Returns the upper bound of the bucket holding the q-th sample,
+        clamped to the exact observed ``max`` (so overflow samples never
+        report an infinite latency).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            raise ValueError("quantile of an empty histogram")
+        rank = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank and c:
+                bound = (
+                    BUCKET_BOUNDS[i] if i < len(BUCKET_BOUNDS) else self.max
+                )
+                return min(bound, self.max)
+        return self.max
+
+    def bucket_pairs(self) -> list[tuple[float, int]]:
+        """Non-empty ``(upper_bound_seconds, count)`` pairs; the overflow
+        bucket reports ``inf`` as its bound."""
+        out: list[tuple[float, int]] = []
+        for i, c in enumerate(self.counts):
+            if c:
+                bound = (
+                    BUCKET_BOUNDS[i]
+                    if i < len(BUCKET_BOUNDS)
+                    else float("inf")
+                )
+                out.append((bound, c))
+        return out
+
+    def as_dict(self) -> dict[str, Any]:
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            # JSON has no inf: encode the overflow bound as the string "inf"
+            "buckets": [
+                ["inf" if b == float("inf") else b, c]
+                for b, c in self.bucket_pairs()
+            ],
+        }
+
+
+class _PhaseAgg:
+    """Aggregate state of one phase path: wall histogram + CPU total."""
+
+    __slots__ = ("name", "parent", "hist", "cpu_seconds")
+
+    def __init__(self, name: str, parent: Optional[str]) -> None:
+        self.name = name
+        self.parent = parent
+        self.hist = FixedBucketHistogram()
+        self.cpu_seconds = 0.0
+
+
+class _ActivePhase:
+    """Context manager binding one phase interval to the profiler stack."""
+
+    __slots__ = ("_profiler", "_path", "_name", "_t0", "_c0")
+
+    def __init__(self, profiler: "PhaseProfiler", path: str, name: str):
+        self._profiler = profiler
+        self._path = path
+        self._name = name
+
+    def __enter__(self) -> "_ActivePhase":
+        self._profiler._stack.append(self._path)
+        self._t0 = time.perf_counter()
+        self._c0 = time.process_time()
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        wall = time.perf_counter() - self._t0
+        cpu = time.process_time() - self._c0
+        prof = self._profiler
+        prof._stack.pop()
+        agg = prof._aggs.get(self._path)
+        if agg is None:
+            parent = self._path[: -len(self._name) - 1] or None
+            agg = prof._aggs[self._path] = _PhaseAgg(self._name, parent)
+        agg.hist.observe(wall)
+        agg.cpu_seconds += cpu
+        return False
+
+
+class _NullPhase:
+    """Shared no-op phase: entering and exiting do nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+NULL_PHASE = _NullPhase()
+_NULL_PHASE = NULL_PHASE
+
+
+class PhaseProfiler:
+    """Hierarchical phase timers with per-phase wall/CPU aggregates.
+
+    Phase identity is the slash-joined path of open phase names, so the
+    same kernel shows up separately under each caller — a flame view —
+    while :func:`repro.analysis.profiling.phases_by_name` rolls paths up
+    per leaf name when a flat table is wanted.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._aggs: dict[str, _PhaseAgg] = {}
+        self._stack: list[str] = []
+        #: kernel name -> [hits, misses] as reported by the geometry cache.
+        self._cache: dict[str, list[int]] = {}
+
+    def phase(self, name: str) -> _ActivePhase:
+        """Open a phase named ``name`` under the currently open phase."""
+        stack = self._stack
+        path = name if not stack else stack[-1] + "/" + name
+        return _ActivePhase(self, path, name)
+
+    def note_cache(self, name: str, hit: bool) -> None:
+        """Record one geometry-cache lookup outcome for kernel ``name``."""
+        pair = self._cache.get(name)
+        if pair is None:
+            pair = self._cache[name] = [0, 0]
+        pair[0 if hit else 1] += 1
+
+    def clear(self) -> None:
+        self._aggs.clear()
+        self._stack.clear()
+        self._cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._aggs)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-data view of every phase aggregate (JSON-serialisable)."""
+        phases: dict[str, Any] = {}
+        for path, agg in sorted(self._aggs.items()):
+            entry = agg.hist.as_dict()
+            entry["name"] = agg.name
+            entry["parent"] = agg.parent
+            entry["wall_seconds"] = agg.hist.total
+            entry["cpu_seconds"] = agg.cpu_seconds
+            phases[path] = entry
+        return {
+            "schema": PERF_SCHEMA,
+            "phases": phases,
+            "cache": {
+                name: {"hits": pair[0], "misses": pair[1]}
+                for name, pair in sorted(self._cache.items())
+            },
+        }
+
+
+class NullPhaseProfiler:
+    """The disabled profiler: records nothing, allocates nothing."""
+
+    enabled = False
+
+    def phase(self, name: str) -> _NullPhase:
+        return _NULL_PHASE
+
+    def note_cache(self, name: str, hit: bool) -> None:
+        return None
+
+    def clear(self) -> None:
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"schema": PERF_SCHEMA, "phases": {}, "cache": {}}
+
+
+NULL_PROFILER = NullPhaseProfiler()
+
+AnyProfiler = Union[PhaseProfiler, NullPhaseProfiler]
+
+_profiler: AnyProfiler = NULL_PROFILER
+
+
+def get_profiler() -> AnyProfiler:
+    """The currently installed profiler (:data:`NULL_PROFILER` by default)."""
+    return _profiler
+
+
+def set_profiler(profiler: Optional[AnyProfiler]) -> AnyProfiler:
+    """Install ``profiler`` globally; returns the previous one."""
+    global _profiler
+    prev = _profiler
+    _profiler = profiler if profiler is not None else NULL_PROFILER
+    return prev
+
+
+@contextmanager
+def use_profiler(profiler: Optional[AnyProfiler]) -> Iterator[AnyProfiler]:
+    """Install ``profiler`` for the ``with`` body, then restore."""
+    prev = set_profiler(profiler)
+    try:
+        yield _profiler
+    finally:
+        set_profiler(prev)
+
+
+def perf_phase(name: str) -> "_ActivePhase | _NullPhase":
+    """Open a phase on the installed profiler (shared no-op when off)."""
+    p = _profiler
+    if not p.enabled:
+        return _NULL_PHASE
+    return p.phase(name)
+
+
+def rollup_phases(snapshot: dict[str, Any]) -> dict[str, dict[str, Any]]:
+    """Aggregate a profiler snapshot per leaf phase *name*.
+
+    The snapshot keys phases by their full path, so ``geometry.delta_star``
+    under the sync scheduler and under ``averaging.select`` are separate
+    flame nodes.  This folds those paths into one row per name —
+    ``{"count", "wall_seconds", "cpu_seconds", "self_seconds", "paths"}``
+    — where ``self_seconds`` subtracts the wall time of each node's
+    direct children (time attributed here and nowhere deeper).
+    """
+    phases: dict[str, Any] = snapshot.get("phases", {})
+    child_wall: dict[str, float] = {}
+    for entry in phases.values():
+        parent = entry.get("parent")
+        if parent is not None:
+            child_wall[parent] = (
+                child_wall.get(parent, 0.0) + float(entry["wall_seconds"])
+            )
+    out: dict[str, dict[str, Any]] = {}
+    for path, entry in phases.items():
+        name = entry["name"]
+        row = out.get(name)
+        if row is None:
+            row = out[name] = {
+                "count": 0,
+                "wall_seconds": 0.0,
+                "cpu_seconds": 0.0,
+                "self_seconds": 0.0,
+                "paths": 0,
+            }
+        row["count"] += int(entry["count"])
+        row["wall_seconds"] += float(entry["wall_seconds"])
+        row["cpu_seconds"] += float(entry["cpu_seconds"])
+        row["self_seconds"] += max(
+            0.0, float(entry["wall_seconds"]) - child_wall.get(path, 0.0)
+        )
+        row["paths"] += 1
+    return dict(sorted(out.items(), key=lambda kv: -kv[1]["wall_seconds"]))

@@ -30,6 +30,7 @@ from ..obs import metrics as _obs
 from ..obs.causal import get_causal_collector, use_causal_collector
 from ..obs.metrics import MetricsRegistry, active_registry, use_registry
 from ..obs.probes import Probe, ProbeReport, ProbeView
+from ..obs.perf import NULL_PHASE, get_profiler
 from ..obs.tracer import NULL_SPAN, get_tracer, trace_span
 from .adversary import Adversary, AdversaryView
 from .ids import validate_system_size
@@ -212,12 +213,16 @@ class SynchronousScheduler:
         if probe_view is not None:
             for probe in self.probes:
                 probe.attach(probe_view)
+        prof = get_profiler()
         for r in range(self.max_rounds):
             rounds_done = r
             if collector.enabled:
                 collector.now = r
             round_span = trace_span("sched.sync.round", round=r)
-            with round_span:
+            round_phase = (
+                prof.phase("sched.round") if prof.enabled else NULL_PHASE
+            )
+            with round_span, round_phase:
                 correct_ids = [
                     p for p in range(self.n) if not self.adversary.is_faulty(p)
                 ]
@@ -503,6 +508,7 @@ class AsyncScheduler:
         correct_ids = [p for p in range(self.n) if not self.adversary.is_faulty(p)]
         steps = 0
         completed = False
+        prof = get_profiler()
         while steps < self.max_steps:
             if self.stop_when_correct_decided and all(
                 self.contexts[p].decided for p in correct_ids
@@ -530,7 +536,10 @@ class AsyncScheduler:
                 if tracer.enabled
                 else NULL_SPAN
             )
-            with step_span:
+            step_phase = (
+                prof.phase("sched.step") if prof.enabled else NULL_PHASE
+            )
+            with step_span, step_phase:
                 targets = range(self.n) if msg.is_atomic_broadcast else (msg.dst,)
                 for dst in targets:
                     ctx = self.contexts[dst]

@@ -2,11 +2,12 @@
 """Fixture: off-namespace telemetry names -> OBS001 findings only.
 
 The first two calls break the dotted-lowercase shape, the third is a
-histogram without a unit suffix; the conforming calls (and the f-string,
-which is out of static reach) stay clean.
+histogram without a unit suffix, and the first ``perf_phase`` is an
+undotted phase name; the conforming calls (and the f-string, which is
+out of static reach) stay clean.
 """
 
-from repro.obs import metrics, trace_event
+from repro.obs import metrics, perf_phase, trace_event
 
 
 def emit(component: str) -> None:
@@ -16,3 +17,7 @@ def emit(component: str) -> None:
     metrics.inc("sched.sync.rounds")                # conforming
     metrics.observe("sched.round.seconds", 0.1)     # conforming
     metrics.inc(f"probe.{component}.violations")    # f-string: skipped
+    with perf_phase("RoundPhase"):                  # phase: not dotted
+        pass
+    with perf_phase("sched.round"):                 # conforming phase
+        pass

@@ -207,6 +207,35 @@ class TestObservabilityNaming:
         )
         assert rules_in(src, "system/x.py") == []
 
+    def test_perf_phase_name_must_be_dotted(self):
+        src = (
+            "from repro.obs import perf_phase\n"
+            'with perf_phase("RoundPhase"):\n'
+            "    pass\n"
+        )
+        assert rules_in(src, "system/x.py") == ["OBS001"]
+
+    def test_perf_phase_is_span_like_no_unit_suffix_required(self):
+        src = (
+            "from repro.obs import PhaseProfiler, perf_phase\n"
+            "prof = PhaseProfiler()\n"
+            'with perf_phase("sched.round"):\n'
+            "    pass\n"
+            'with prof.phase("geometry.delta_star"):\n'
+            "    pass\n"
+        )
+        assert rules_in(src, "system/x.py") == []
+
+    def test_note_cache_kernel_names_exempt(self):
+        # note_cache takes a bare kernel name (a cache-counter key, not a
+        # telemetry path), so single-segment literals stay clean
+        src = (
+            "from repro.obs import PhaseProfiler\n"
+            "prof = PhaseProfiler()\n"
+            'prof.note_cache("delta_star", True)\n'
+        )
+        assert rules_in(src, "geometry/x.py") == []
+
     def test_tests_are_out_of_scope(self):
         src = 'from repro.obs import metrics\nmetrics.inc("msgs")\n'
         assert rules_in(src, "tests/obs/x.py") == []
