@@ -21,8 +21,12 @@ Commands
 ``metrics``   Prometheus text-format snapshots: ``serve`` a scrapeable
               endpoint, ``snapshot`` to stdout/file, ``diff`` counter
               deltas between two exported JSONL traces
-``lint``      protocol-aware static analysis (determinism/float-safety/
-              resilience-bounds/handler-hygiene rule families)
+``lint``      protocol-aware static analysis: per-file rule families
+              (determinism/float-safety/resilience-bounds/handler-
+              hygiene/observability) plus whole-program flow analysis
+              (message exhaustiveness, determinism taint, quorum
+              provenance, transport readiness); SARIF output and a
+              stale-suppression audit (``--check-noqa``)
 
 ``fuzz``/``shrink``/``replay`` are the deterministic simulation-testing
 loop (see ``docs/fuzzing.md``): every violation ``fuzz`` prints comes
@@ -51,7 +55,8 @@ Examples::
     python -m repro bench --compare BENCH_perf.json BENCH_new.json
     python -m repro metrics serve --demo --port 9464 --max-requests 1
     python -m repro metrics snapshot --from run.jsonl
-    python -m repro lint src/repro benchmarks examples
+    python -m repro lint src/repro benchmarks examples --check-noqa
+    python -m repro lint --format sarif
     python -m repro lint --list-rules
 """
 

@@ -45,6 +45,7 @@ from typing import Any, Optional, Union
 
 import numpy as np
 
+from .bounds import averaging_quorum
 from ..geometry.intersections import gamma_delta_p_point, gamma_point
 from ..geometry.minimax import delta_star
 from ..geometry.tolerance import near_zero
@@ -147,7 +148,7 @@ class VerifiedAveragingProcess(AsyncProcess):
         self.mode = mode
         self.delta = float(delta)
         self.p = p
-        self.quorum = n - f
+        self.quorum = averaging_quorum(n, f)
 
         self._rb: dict[tuple[int, int], BrachaState] = {}
         self._delivered: dict[tuple[int, int], Any] = {}

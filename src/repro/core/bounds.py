@@ -41,6 +41,10 @@ from ..geometry.norms import max_edge_length, min_edge_length, validate_p
 __all__ = [
     "tverberg_min_n",
     "trim_min_size",
+    "rbc_min_n",
+    "bracha_echo_quorum",
+    "bracha_ready_quorum",
+    "averaging_quorum",
     "exact_bvc_min_n",
     "approx_bvc_min_n",
     "k_relaxed_exact_min_n",
@@ -93,6 +97,42 @@ def trim_min_size(f: int) -> int:
     if f < 0:
         raise ValueError(f"f must be >= 0, got {f}")
     return 2 * f + 1
+
+
+def rbc_min_n(f: int) -> int:
+    """``3f + 1`` — resilience floor of Byzantine reliable broadcast
+    (Bracha) and of the EIG/OM protocol; also the scalar floor every
+    synchronous bound in the paper max'es against."""
+    if f < 0:
+        raise ValueError(f"f must be >= 0, got {f}")
+    return 3 * f + 1
+
+
+def bracha_echo_quorum(n: int, f: int) -> int:
+    """``⌈(n + f + 1) / 2⌉`` — ECHO quorum of Bracha reliable broadcast:
+    any two such quorums intersect in a correct process, so two correct
+    processes can never move to READY for different values."""
+    if f < 0:
+        raise ValueError(f"f must be >= 0, got {f}")
+    return math.ceil((n + f + 1) / 2)
+
+
+def bracha_ready_quorum(f: int) -> int:
+    """``2f + 1`` — READY quorum of Bracha reliable broadcast: at least
+    ``f + 1`` correct READYs, enough to bootstrap every other correct
+    process past the ``f + 1`` amplification threshold."""
+    if f < 0:
+        raise ValueError(f"f must be >= 0, got {f}")
+    return 2 * f + 1
+
+
+def averaging_quorum(n: int, f: int) -> int:
+    """``n - f`` — deliveries a correct process can await without losing
+    liveness (the verified-averaging round quorum): up to ``f`` peers
+    may never deliver."""
+    if f < 0 or n < f:
+        raise ValueError(f"need n >= f >= 0, got n={n}, f={f}")
+    return n - f
 
 
 # ---------------------------------------------------------------------------

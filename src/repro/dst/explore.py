@@ -128,7 +128,11 @@ def register_checker(name: str) -> Callable[[CheckerFn], CheckerFn]:
 
 
 @register_checker("agreement")
-def _check_agreement(scenario, outcome, decisions):
+def _check_agreement(
+    scenario: Scenario,
+    outcome: ConsensusOutcome,
+    decisions: Mapping[int, np.ndarray],
+) -> Optional[str]:
     tol = AVERAGING_EPSILON + 1e-9 if scenario.algorithm == "averaging" else 1e-9
     diam = agreement_diameter(decisions)
     if diam > tol:
@@ -139,7 +143,11 @@ def _check_agreement(scenario, outcome, decisions):
 
 
 @register_checker("validity")
-def _check_validity(scenario, outcome, decisions):
+def _check_validity(
+    scenario: Scenario,
+    outcome: ConsensusOutcome,
+    decisions: Mapping[int, np.ndarray],
+) -> Optional[str]:
     if outcome.report.validity_ok:
         return None
     worst = max(outcome.report.violations.values(), default=0.0)
@@ -147,7 +155,11 @@ def _check_validity(scenario, outcome, decisions):
 
 
 @register_checker("termination")
-def _check_termination(scenario, outcome, decisions):
+def _check_termination(
+    scenario: Scenario,
+    outcome: ConsensusOutcome,
+    decisions: Mapping[int, np.ndarray],
+) -> Optional[str]:
     if outcome.report.termination_ok:
         return None
     return f"run ended after {outcome.result.rounds} rounds/steps without all correct decisions"
@@ -163,8 +175,11 @@ INJECTIONS: dict[
 ] = {}
 
 
-def _register_injection(name: str):
-    def deco(fn):
+InjectionFn = Callable[[dict[int, np.ndarray], Scenario], dict[int, np.ndarray]]
+
+
+def _register_injection(name: str) -> Callable[[InjectionFn], InjectionFn]:
+    def deco(fn: InjectionFn) -> InjectionFn:
         INJECTIONS[name] = fn
         return fn
 
@@ -172,7 +187,9 @@ def _register_injection(name: str):
 
 
 @_register_injection("split-brain")
-def _inject_split_brain(decisions, scenario):
+def _inject_split_brain(
+    decisions: dict[int, np.ndarray], scenario: Scenario
+) -> dict[int, np.ndarray]:
     """One process 'decides' an offset value — a broken decision rule."""
     out = {pid: np.array(v, dtype=float, copy=True) for pid, v in decisions.items()}
     if out:
@@ -182,7 +199,9 @@ def _inject_split_brain(decisions, scenario):
 
 
 @_register_injection("stale-echo")
-def _inject_stale_echo(decisions, scenario):
+def _inject_stale_echo(
+    decisions: dict[int, np.ndarray], scenario: Scenario
+) -> dict[int, np.ndarray]:
     """Two processes swap halves of their decisions — a buffer-reuse bug."""
     out = {pid: np.array(v, dtype=float, copy=True) for pid, v in decisions.items()}
     pids = sorted(out)

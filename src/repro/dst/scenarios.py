@@ -25,7 +25,7 @@ artefact of breaking the model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
@@ -40,6 +40,7 @@ from ..system.adversary import (
     SilentStrategy,
 )
 from ..system.messages import Message
+from ..system.network import Network
 from ..system.scheduler import DeliveryPolicy, FifoPolicy, RandomPolicy
 
 __all__ = [
@@ -85,7 +86,7 @@ class FaultClause:
     end: Optional[int] = None
     param: float = 1.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}; choices {FAULT_KINDS}")
         if self.pid < 0:
@@ -135,7 +136,7 @@ class ScheduleWindow:
     groups: tuple[tuple[int, ...], ...] = ()
     victims: tuple[int, ...] = ()
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.kind not in WINDOW_KINDS:
             raise ValueError(f"unknown window kind {self.kind!r}; choices {WINDOW_KINDS}")
         if self.start < 0 or self.end <= self.start:
@@ -293,10 +294,10 @@ class Scenario:
 # ---------------------------------------------------------------------------
 
 
-def _value_noise(scale: float):
+def _value_noise(scale: float) -> Callable[[Any, np.random.Generator], Any]:
     """Payload mutator: structured noise on numeric tuples (protocol-agnostic)."""
 
-    def mutate(value, rng):
+    def mutate(value: Any, rng: np.random.Generator) -> Any:
         if isinstance(value, tuple):
             if value and all(isinstance(v, float) for v in value):
                 return tuple(v + float(rng.normal() * scale) for v in value)
@@ -334,7 +335,7 @@ class ScriptedStrategy(ByzantineStrategy):
     earlier ones (a strategy switch mid-run).
     """
 
-    def __init__(self, clauses: Sequence[FaultClause]):
+    def __init__(self, clauses: Sequence[FaultClause]) -> None:
         self.clauses = tuple(clauses)
         self._strategies = [_clause_strategy(c) for c in self.clauses]
         self._activations = 0
@@ -406,7 +407,7 @@ class ScenarioPolicy(DeliveryPolicy):
     are counted in :attr:`starved` for forensics.
     """
 
-    def __init__(self, windows: Sequence[ScheduleWindow] = ()):
+    def __init__(self, windows: Sequence[ScheduleWindow] = ()) -> None:
         self.windows = tuple(windows)
         self.step = 0
         self.starved = 0
@@ -421,13 +422,20 @@ class ScenarioPolicy(DeliveryPolicy):
         return hit
 
     @staticmethod
-    def _same_group(link: tuple[int, int], groups) -> bool:
+    def _same_group(
+        link: tuple[int, int], groups: Sequence[tuple[int, ...]]
+    ) -> bool:
         src, dst = link
         if dst < 0:  # atomic broadcast reaches everyone: cross-partition
             return False
         return any(src in g and dst in g for g in groups)
 
-    def choose(self, links, network, rng):
+    def choose(
+        self,
+        links: Sequence[tuple[int, int]],
+        network: Network,
+        rng: np.random.Generator,
+    ) -> tuple[int, int]:
         w = self._window_at(self.step)
         self.step += 1
         pool = list(links)

@@ -72,7 +72,7 @@ def norm_order_is(p: FloatLike, value: float) -> bool:
     """
     if math.isinf(value):
         return bool(math.isinf(float(p)))
-    return float(p) == value  # repro: noqa[FLT001] — canonical sentinel
+    return float(p) == value  # canonical sentinel; no float literal here
 
 
 def exactly_zero(x: FloatLike) -> Union[bool, np.ndarray]:
@@ -83,4 +83,4 @@ def exactly_zero(x: FloatLike) -> Union[bool, np.ndarray]:
     against literal zero while still scaling by tiny non-zero ``m``
     (replacing tiny ``m`` by 1.0 would underflow the rescaled sum).
     """
-    return np.equal(x, 0.0)  # repro: noqa[FLT001] — documented exact guard
+    return np.equal(x, 0.0)  # documented exact guard (np.equal, not ==)

@@ -21,6 +21,13 @@ family     what it protects
            :mod:`repro.core.bounds` predicates, never re-derived inline
 ``HYG``    message handlers neither mutate module state nor retain
            references to in-flight payloads they also forward
+``FLOW``   every message kind sent has a handler branch, no dead handlers
+           (whole-program, :mod:`repro.lint.flow`)
+``TNT``    wall-clock/RNG/set-order values never *flow* into decisions,
+           payloads, or cache keys (interprocedural taint)
+``QUO``    thresholds/quorums reach :mod:`repro.core.bounds` via dataflow
+``XPT``    transport readiness: no handler-reachable module globals, pure
+           data payloads, transport touched only via the approved seams
 =========  ================================================================
 
 Findings are suppressible per line with ``# repro: noqa[RULE]`` (or a
@@ -40,12 +47,15 @@ from .engine import (
     all_rules,
     get_rule,
     lint_file,
+    lint_flow,
     lint_paths,
     lint_source,
     register,
+    stale_noqa,
 )
 
-# Importing the rule modules registers every shipped rule.
+# Importing the rule modules registers every shipped rule (the flow
+# registry populates lazily inside lint_flow/_validate_select).
 from . import rules as _rules  # noqa: E402,F401  (import-for-side-effect)
 
 __all__ = [
@@ -55,7 +65,9 @@ __all__ = [
     "all_rules",
     "get_rule",
     "lint_file",
+    "lint_flow",
     "lint_paths",
     "lint_source",
     "register",
+    "stale_noqa",
 ]

@@ -41,9 +41,11 @@ __all__ = [
     "all_rules",
     "get_rule",
     "lint_file",
+    "lint_flow",
     "lint_paths",
     "lint_source",
     "register",
+    "stale_noqa",
 ]
 
 
@@ -164,29 +166,48 @@ def get_rule(rule_id: str) -> Rule:
     return _REGISTRY[rule_id]
 
 
-def _select_rules(select: Optional[Iterable[str]]) -> tuple[Rule, ...]:
-    if select is None:
-        return all_rules()
+def _flow_registry() -> dict[str, "object"]:
+    """The flow-rule registry, imported lazily (flow depends on engine)."""
+    from .flow.rules import _FLOW_REGISTRY
 
-    def matches(rule_id: str, token: str) -> bool:
-        return rule_id.startswith(token) or _REGISTRY[rule_id].family == token
+    return dict(_FLOW_REGISTRY)
 
-    wanted = [s.strip() for s in select if s.strip()]
+
+def _matches(rule_id: str, family: str, token: str) -> bool:
+    return rule_id.startswith(token) or family == token
+
+
+def _validate_select(wanted: Sequence[str]) -> None:
+    """Raise on tokens matching neither a per-file nor a flow rule."""
+    flow = _flow_registry()
     unknown = [
-        w for w in wanted if not any(matches(rid, w) for rid in _REGISTRY)
+        w
+        for w in wanted
+        if not any(_matches(rid, _REGISTRY[rid].family, w) for rid in _REGISTRY)
+        and not any(
+            _matches(rid, rule.family, w)  # type: ignore[attr-defined]
+            for rid, rule in flow.items()
+        )
     ]
     if unknown:
         raise ValueError(f"unknown rule or family: {', '.join(sorted(unknown))}")
+
+
+def _select_rules(select: Optional[Iterable[str]]) -> tuple[Rule, ...]:
+    if select is None:
+        return all_rules()
+    wanted = [s.strip() for s in select if s.strip()]
+    _validate_select(wanted)
     return tuple(
         r for rid, r in sorted(_REGISTRY.items())
-        if any(matches(rid, w) for w in wanted)
+        if any(_matches(rid, r.family, w) for w in wanted)
     )
 
 
-def _suppressed(ctx: FileContext, finding: Finding) -> bool:
-    if not 1 <= finding.line <= len(ctx.lines):
+def _line_suppressed(lines: Sequence[str], finding: Finding) -> bool:
+    if not 1 <= finding.line <= len(lines):
         return False
-    m = _NOQA_RE.search(ctx.lines[finding.line - 1])
+    m = _NOQA_RE.search(lines[finding.line - 1])
     if m is None:
         return False
     rules = m.group("rules")
@@ -196,16 +217,23 @@ def _suppressed(ctx: FileContext, finding: Finding) -> bool:
     return any(finding.rule == n or finding.rule.startswith(n) for n in names)
 
 
+def _suppressed(ctx: FileContext, finding: Finding) -> bool:
+    return _line_suppressed(ctx.lines, finding)
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
     logical_path: Optional[str] = None,
     select: Optional[Iterable[str]] = None,
+    suppress: bool = True,
 ) -> list[Finding]:
     """Lint one source string; returns unsuppressed findings, sorted.
 
     ``logical_path`` defaults to :func:`logical_path_for` on ``path``,
     overridden by an in-file ``# repro: lint-as`` directive.
+    ``suppress=False`` keeps noqa'd findings (used by ``--check-noqa``
+    to decide which suppressions still bite).
     """
     rules = _select_rules(select)
     directive = _LINT_AS_RE.search(source)
@@ -239,7 +267,7 @@ def lint_source(
         for rule in rules
         if ctx.in_scope(rule.scopes)
         for f in rule.check(ctx)
-        if not _suppressed(ctx, f)
+        if not (suppress and _suppressed(ctx, f))
     ]
     return sorted(findings)
 
@@ -272,15 +300,149 @@ def lint_paths(
     paths: Sequence[str],
     select: Optional[Iterable[str]] = None,
     on_file: Optional[Callable[[str], None]] = None,
+    flow: bool = False,
 ) -> list[Finding]:
     """Lint files and directories; the CLI's workhorse.
 
     ``on_file`` (when given) is called with each path before linting —
-    used by ``--verbose`` progress output.
+    used by ``--verbose`` progress output.  With ``flow=True`` the
+    whole-program families (FLOW/TNT/QUO/XPT) run over the combined
+    file set after the per-file pass.
     """
     findings: list[Finding] = []
+    sources: list[tuple[str, str]] = []
     for path in iter_python_files(paths):
         if on_file is not None:
             on_file(path)
-        findings.extend(lint_file(path, select=select))
+        with open(path, encoding="utf-8") as fh:
+            source = fh.read()
+        sources.append((path, source))
+        findings.extend(lint_source(source, path=path, select=select))
+    if flow:
+        findings.extend(lint_flow(sources, select=select))
+    return sorted(findings)
+
+
+def _select_flow_rules(select: Optional[Iterable[str]]) -> tuple:
+    from .flow.rules import all_flow_rules
+
+    rules = all_flow_rules()
+    if select is None:
+        return rules
+    wanted = [s.strip() for s in select if s.strip()]
+    _validate_select(wanted)
+    return tuple(
+        r for r in rules if any(_matches(r.id, r.family, w) for w in wanted)
+    )
+
+
+def lint_flow(
+    files: Sequence[tuple[str, str]],
+    select: Optional[Iterable[str]] = None,
+    suppress: bool = True,
+) -> list[Finding]:
+    """Run the whole-program families over ``(path, source)`` pairs.
+
+    Files that fail to parse are skipped here — the per-file pass
+    already reported a ``PARSE`` finding for them.  Logical paths honour
+    ``# repro: lint-as`` so fixtures can opt into the program model.
+    """
+    from .flow.model import build_model
+
+    rules = _select_flow_rules(select)
+    if not rules:
+        return []
+    records: list[tuple[str, str, ast.Module, tuple[str, ...]]] = []
+    lines_by_path: dict[str, tuple[str, ...]] = {}
+    for path, source in files:
+        directive = _LINT_AS_RE.search(source)
+        logical = (
+            directive.group("path") if directive else logical_path_for(path)
+        )
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError:
+            continue
+        lines = tuple(source.splitlines())
+        records.append((path, logical, tree, lines))
+        lines_by_path[path] = lines
+    model = build_model(records)
+    findings: list[Finding] = []
+    for rule in rules:
+        for f in rule.check_program(model):
+            if suppress and _line_suppressed(lines_by_path.get(f.path, ()), f):
+                continue
+            findings.append(f)
+    return sorted(findings)
+
+
+def _iter_noqa_comments(source: str) -> Iterator[tuple[int, Optional[str], int]]:
+    """Yield ``(line, rule-spec-or-None, col)`` for every noqa *comment*.
+
+    Tokenize-based so prose mentions of the directive inside docstrings
+    (this repo documents its own linter) are not treated as
+    suppressions.
+    """
+    import io
+    import tokenize
+
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                m = _NOQA_RE.search(tok.string)
+                if m is not None:
+                    yield tok.start[0], m.group("rules"), tok.start[1]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return
+
+
+def stale_noqa(
+    paths: Sequence[str], flow: bool = True
+) -> list[Finding]:
+    """Find ``# repro: noqa`` comments that no longer suppress anything.
+
+    A suppression is *live* when at least one raw finding on its line is
+    covered by its rule list (or any finding, for a blanket noqa).
+    Stale suppressions come back as ``NOQA`` findings — they hide
+    nothing today and would silently hide a future regression.
+    """
+    sources: list[tuple[str, str]] = []
+    for path in iter_python_files(paths):
+        with open(path, encoding="utf-8") as fh:
+            sources.append((path, fh.read()))
+    raw: list[Finding] = []
+    for path, source in sources:
+        raw.extend(lint_source(source, path=path, suppress=False))
+    if flow:
+        raw.extend(lint_flow(sources, suppress=False))
+    by_line: dict[tuple[str, int], set[str]] = {}
+    for f in raw:
+        by_line.setdefault((f.path, f.line), set()).add(f.rule)
+    findings: list[Finding] = []
+    for path, source in sources:
+        for lineno, spec, col in _iter_noqa_comments(source):
+            live = by_line.get((path, lineno), set())
+            if spec is None:
+                covered = bool(live)
+            else:
+                names = {r.strip() for r in spec.split(",") if r.strip()}
+                covered = any(
+                    rule == n or rule.startswith(n)
+                    for rule in live
+                    for n in names
+                )
+            if not covered:
+                findings.append(
+                    Finding(
+                        path=path,
+                        line=lineno,
+                        col=col + 1,
+                        rule="NOQA",
+                        message=(
+                            "stale suppression: no finding on this line "
+                            "matches; remove it or it will hide a future "
+                            "regression"
+                        ),
+                    )
+                )
     return sorted(findings)

@@ -1,0 +1,664 @@
+"""The four flow rule families: FLOW, TNT, QUO, XPT.
+
+Flow rules run over the :class:`~repro.lint.flow.model.ProgramModel`
+(whole program) rather than one file, so they subclass
+:class:`FlowRule` — same id/family/severity/scopes surface as the
+per-file :class:`~repro.lint.engine.Rule`, but ``check_program(model)``
+instead of ``check(ctx)``.  They register into their own registry;
+:func:`repro.lint.engine.lint_paths` merges both when ``flow=True``.
+
+Families
+--------
+* **FLOW** — message exhaustiveness.  ``FLOW001``: a process class sends
+  a message kind no handler branch of the class dispatches on (the
+  message is silently dropped at every correct receiver).  ``FLOW002``:
+  a handler dispatches on a kind the class never sends (dead protocol
+  arm — usually a renamed tag).
+* **TNT** — interprocedural determinism taint.  ``TNT001``: a value
+  derived from wall clock / unseeded RNG / set-iteration order reaches
+  ``decide()``.  ``TNT002``: such a value reaches a message payload.
+  ``TNT003``: such a value reaches a geometry/memo cache key.  These
+  upgrade DET001–004 from "source present in file" to "source *flows
+  into* quantity the paper's guarantees range over", which is why the
+  DET002 perf-counter exemption is safe: TNT002 still fires if a timing
+  ever leaks into a payload.
+* **QUO** — quorum provenance.  ``QUO001``: resilience-shaped arithmetic
+  (``3*f + 1`` ...) inline in ``system/`` (RES001 covers ``core/``).
+  ``QUO002``: a ``*threshold``/``*quorum`` binding whose value does not
+  reach :mod:`repro.core.bounds` through the dataflow — having the right
+  number is not enough, it must *provably come from* the audited bound.
+* **XPT** — transport readiness (the static gate for ROADMAP item 1).
+  ``XPT001``: mutable module-global state reachable from a message
+  handler (breaks one-OS-process-per-node).  ``XPT002``: message payload
+  contains a non-data value (lambda, process/context/RNG object).
+  ``XPT003``: protocol code imports a non-seam name from a transport
+  module, or touches a transport object's private attribute.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..engine import Finding
+from ..rules.hygiene import HANDLER_METHODS
+from ..rules.resilience import _is_bound_mult
+from ..rules.common import is_int_const
+from .model import ClassInfo, ModuleInfo, ProgramModel
+from .msgflow import MessageProfile, class_profile
+from .seams import APPROVED_HANDLER_GLOBALS, SEAM_MODULES, TRANSPORT_SEAMS
+from .taint import TaintAnalysis, _TRANSPORT_PAYLOAD_ARG
+from .model import _import_anchor
+
+__all__ = ["FlowRule", "all_flow_rules", "register_flow"]
+
+_BOUNDS_PREFIX = "repro.core.bounds."
+
+
+class FlowRule:
+    """Base class for whole-program rules (FLOW/TNT/QUO/XPT)."""
+
+    id: str = ""
+    family: str = ""
+    severity: str = "error"
+    #: logical-path prefixes findings may be *reported* in.
+    scopes: tuple[str, ...] = ()
+    summary: str = ""
+
+    def check_program(self, model: ProgramModel) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def in_scope(self, module: ModuleInfo) -> bool:
+        if not self.scopes:
+            return True
+        return module.logical_path.startswith(self.scopes)
+
+    def finding(
+        self, module: ModuleInfo, line: int, col: int, message: str
+    ) -> Finding:
+        return Finding(
+            path=module.path,
+            line=line,
+            col=col + 1,
+            rule=self.id,
+            message=message,
+            severity=self.severity,
+        )
+
+
+_FLOW_REGISTRY: dict[str, FlowRule] = {}
+
+
+def register_flow(rule_cls: type[FlowRule]) -> type[FlowRule]:
+    rule = rule_cls()
+    if not rule.id:
+        raise ValueError(f"flow rule {rule_cls.__name__} has no id")
+    if rule.id in _FLOW_REGISTRY:
+        raise ValueError(f"duplicate flow rule id {rule.id!r}")
+    _FLOW_REGISTRY[rule.id] = rule
+    return rule_cls
+
+
+def all_flow_rules() -> tuple[FlowRule, ...]:
+    return tuple(_FLOW_REGISTRY[k] for k in sorted(_FLOW_REGISTRY))
+
+
+# --------------------------------------------------------------------- shared
+def _profiles(model: ProgramModel) -> list[MessageProfile]:
+    cached = getattr(model, "_flow_profiles", None)
+    if cached is None:
+        cached = [class_profile(model, cls) for cls in model.process_classes()]
+        model._flow_profiles = cached  # type: ignore[attr-defined]
+    return cached
+
+
+def _taint(model: ProgramModel) -> TaintAnalysis:
+    cached = getattr(model, "_flow_taint", None)
+    if cached is None:
+        cached = TaintAnalysis(model)
+        model._flow_taint = cached  # type: ignore[attr-defined]
+    return cached
+
+
+# ----------------------------------------------------------------------- FLOW
+@register_flow
+class UnhandledMessageKind(FlowRule):
+    id = "FLOW001"
+    family = "message-flow"
+    scopes = ("core/", "system/")
+    summary = "message kind sent with no handler branch in the sending class"
+
+    def check_program(self, model: ProgramModel) -> Iterator[Finding]:
+        seen: set[tuple[str, int, str]] = set()
+        for profile in _profiles(model):
+            module = profile.cls.module
+            if not self.in_scope(module):
+                continue
+            if not profile.handled and not profile.sends:
+                continue
+            for site in profile.sends:
+                if site.kind is None or site.kind in profile.handled:
+                    continue
+                key = (module.path, site.line, site.kind)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield self.finding(
+                    module,
+                    site.line,
+                    site.col,
+                    f"kind '{site.kind}' sent in {profile.cls.name}."
+                    f"{site.method} but no handler of {profile.cls.name} "
+                    f"dispatches on it — the message is dropped at every "
+                    f"correct receiver",
+                )
+
+
+@register_flow
+class DeadHandlerBranch(FlowRule):
+    id = "FLOW002"
+    family = "message-flow"
+    scopes = ("core/", "system/")
+    summary = "handler dispatches on a message kind the class never sends"
+
+    def check_program(self, model: ProgramModel) -> Iterator[Finding]:
+        seen: set[tuple[str, int, str]] = set()
+        for profile in _profiles(model):
+            module = profile.cls.module
+            if not self.in_scope(module):
+                continue
+            if not profile.sends:
+                continue  # receive-only classes dispatch on peers' kinds
+            sent = {s.kind for s in profile.sends if s.kind is not None}
+            if any(s.kind is None for s in profile.sends):
+                continue  # an unresolved send could cover any kind
+            for kind, line in profile.handled.items():
+                if kind in sent:
+                    continue
+                key = (module.path, line, kind)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield self.finding(
+                    module,
+                    line,
+                    0,
+                    f"handler branch for kind '{kind}' in {profile.cls.name} "
+                    f"but the class never sends it — dead protocol arm "
+                    f"(renamed tag?)",
+                )
+
+
+# ------------------------------------------------------------------------ TNT
+class _TaintRule(FlowRule):
+    family = "determinism-taint"
+    scopes = ("core/", "system/", "dst/", "exec/")
+    sink: str = ""
+    what: str = ""
+
+    def check_program(self, model: ProgramModel) -> Iterator[Finding]:
+        analysis = _taint(model)
+        seen: set[tuple[str, int]] = set()
+        for rec in analysis.iter_function_records():
+            if not self.in_scope(rec.module):
+                continue
+            for hit in analysis.sink_hits(rec):
+                if hit.sink != self.sink:
+                    continue
+                key = (hit.module.path, hit.line)
+                if key in seen:
+                    continue
+                seen.add(key)
+                kinds = ", ".join(sorted(hit.kinds))
+                via = f" ({hit.detail})" if hit.detail.startswith("via") else ""
+                yield self.finding(
+                    hit.module,
+                    hit.line,
+                    hit.col,
+                    f"nondeterministic value ({kinds}) flows into "
+                    f"{self.what}{via}; {self.fix}",
+                )
+
+    fix: str = ""
+
+
+@register_flow
+class TaintedDecision(_TaintRule):
+    id = "TNT001"
+    summary = "wall-clock/RNG/set-order value flows into decide()"
+    sink = "decide"
+    what = "decision state"
+    fix = "decisions must be a pure function of inputs and seeds"
+
+
+@register_flow
+class TaintedPayload(_TaintRule):
+    id = "TNT002"
+    summary = "wall-clock/RNG/set-order value flows into a message payload"
+    sink = "payload"
+    what = "a message payload"
+    fix = "payloads must replay bit-identically from the trace"
+
+
+@register_flow
+class TaintedCacheKey(_TaintRule):
+    id = "TNT003"
+    scopes = ("core/", "system/", "dst/", "exec/", "geometry/")
+    summary = "wall-clock/RNG/set-order value flows into a cache key"
+    sink = "cachekey"
+    what = "a cache key"
+    fix = "cache keys must be deterministic or hits/misses diverge per run"
+
+
+# ------------------------------------------------------------------------ QUO
+@register_flow
+class InlineSystemBound(FlowRule):
+    id = "QUO001"
+    family = "quorum-provenance"
+    scopes = ("system/",)
+    summary = "resilience-shaped arithmetic inline in system/ (see RES001)"
+
+    _MESSAGE = (
+        "resilience arithmetic re-derived inline in system code; route it "
+        "through repro.core.bounds (rbc_min_n, bracha_ready_quorum, ...) so "
+        "the broadcast layer shares the audited predicates"
+    )
+
+    def check_program(self, model: ProgramModel) -> Iterator[Finding]:
+        for module in model.modules.values():
+            if not self.in_scope(module):
+                continue
+            reported: set[int] = set()
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+                    for a, b in ((node.left, node.right), (node.right, node.left)):
+                        if _is_bound_mult(a) and is_int_const(b):
+                            if id(node) not in reported:
+                                reported.add(id(node))
+                                reported.add(id(a))
+                                yield self.finding(
+                                    module, node.lineno, node.col_offset,
+                                    self._MESSAGE,
+                                )
+                            break
+            for node in ast.walk(module.tree):
+                if _is_bound_mult(node) and id(node) not in reported:
+                    reported.add(id(node))
+                    yield self.finding(
+                        module, node.lineno, node.col_offset, self._MESSAGE
+                    )
+
+
+def _derives_from_bounds(
+    expr: ast.expr,
+    module: ModuleInfo,
+    model: ProgramModel,
+    env: dict[str, ast.expr],
+    depth: int = 0,
+) -> bool:
+    """True when the expression's dataflow reaches a core.bounds helper."""
+    if depth > 3:
+        return False
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Call):
+            name = _call_dotted(node.func)
+            if name is None:
+                continue
+            resolved = model.resolve(module, name)
+            if resolved is None:
+                continue
+            if resolved.startswith(_BOUNDS_PREFIX):
+                return True
+            target = model.function(resolved)
+            if target is not None:
+                target_module, func = target
+                for ret in ast.walk(func):
+                    if isinstance(ret, ast.Return) and ret.value is not None:
+                        if _derives_from_bounds(
+                            ret.value, target_module, model, {}, depth + 1
+                        ):
+                            return True
+        elif isinstance(node, ast.Name) and node.id in env:
+            bound = env[node.id]
+            if bound is not expr and _derives_from_bounds(
+                bound, module, model, env, depth + 1
+            ):
+                return True
+    return False
+
+
+@register_flow
+class ThresholdProvenance(FlowRule):
+    id = "QUO002"
+    family = "quorum-provenance"
+    scopes = ("core/", "system/")
+    summary = "threshold/quorum binding does not reach core.bounds via dataflow"
+
+    def check_program(self, model: ProgramModel) -> Iterator[Finding]:
+        for module in model.modules.values():
+            if not self.in_scope(module):
+                continue
+            if module.logical_path == "core/bounds.py":
+                continue
+            for func, env in _functions_with_env(module):
+                for node in ast.walk(func):
+                    target_name, value = _threshold_binding(node)
+                    if target_name is None or value is None:
+                        continue
+                    if _derives_from_bounds(value, module, model, env):
+                        continue
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        f"'{target_name}' is bound without provenance from "
+                        f"repro.core.bounds; thresholds must reach a bounds "
+                        f"helper through the dataflow, not re-derive the "
+                        f"paper's arithmetic inline",
+                    )
+
+
+def _threshold_binding(
+    node: ast.AST,
+) -> tuple[Optional[str], Optional[ast.expr]]:
+    if isinstance(node, ast.Assign) and len(node.targets) == 1:
+        target, value = node.targets[0], node.value
+    elif isinstance(node, ast.AnnAssign) and node.value is not None:
+        target, value = node.target, node.value
+    else:
+        return None, None
+    if isinstance(target, ast.Attribute):
+        name = target.attr
+    elif isinstance(target, ast.Name):
+        name = target.id
+    else:
+        return None, None
+    low = name.lower()
+    if "quorum" not in low and "threshold" not in low:
+        return None, None
+    # A bare rebind of an existing value has no arithmetic to audit.
+    if isinstance(value, (ast.Name, ast.Constant, ast.Attribute)):
+        return None, None
+    return name, value
+
+
+def _functions_with_env(
+    module: ModuleInfo,
+) -> Iterator[tuple[ast.FunctionDef, dict[str, ast.expr]]]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.FunctionDef):
+            env: dict[str, ast.expr] = {}
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+                    t = sub.targets[0]
+                    if isinstance(t, ast.Name):
+                        env[t.id] = sub.value
+            yield node, env
+
+
+# ------------------------------------------------------------------------ XPT
+@register_flow
+class HandlerReachableGlobal(FlowRule):
+    id = "XPT001"
+    family = "transport-readiness"
+    scopes = ("core/", "system/")
+    summary = "mutable module-global state reachable from a message handler"
+
+    def check_program(self, model: ProgramModel) -> Iterator[Finding]:
+        seen: set[tuple[str, int, str]] = set()
+        for cls in model.process_classes():
+            module = cls.module
+            if not self.in_scope(module):
+                continue
+            for func in _handler_reach(model, cls):
+                for node in ast.walk(func):
+                    if not isinstance(node, ast.Name):
+                        continue
+                    name = node.id
+                    if name.startswith("__"):
+                        continue
+                    if name not in module.global_mutables:
+                        continue
+                    if (module.logical_path, name) in APPROVED_HANDLER_GLOBALS:
+                        continue
+                    key = (module.path, node.lineno, name)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        f"handler-reachable code touches mutable module "
+                        f"global '{name}' (bound at line "
+                        f"{module.global_mutables[name]}); per-node state "
+                        f"must live on the process instance or be approved "
+                        f"in lint.flow.seams.APPROVED_HANDLER_GLOBALS",
+                    )
+
+
+def _handler_reach(
+    model: ProgramModel, cls: ClassInfo
+) -> Iterator[ast.FunctionDef]:
+    """Handler methods + same-class self-calls + same-module helper calls."""
+    table = model.merged_methods(cls)
+    module = cls.module
+    reached: dict[str, ast.FunctionDef] = {}
+    frontier = [m for m in HANDLER_METHODS if m in table]
+    while frontier:
+        name = frontier.pop()
+        if name in reached:
+            continue
+        node = table[name][1] if name in table else module.functions[name]
+        reached[name] = node
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            func = sub.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and func.attr in table
+                and func.attr not in reached
+            ):
+                frontier.append(func.attr)
+            elif (
+                isinstance(func, ast.Name)
+                and func.id in module.functions
+                and func.id not in reached
+            ):
+                frontier.append(func.id)
+    yield from reached.values()
+
+
+_IMPURE_NAMES = frozenset({"ctx", "self"})
+
+
+def _impure_payload(
+    expr: ast.expr, module: ModuleInfo, model: ProgramModel
+) -> Optional[str]:
+    """Reason the payload expression is not pure data, else None."""
+    if isinstance(expr, ast.Lambda):
+        return "a lambda (not picklable wire data)"
+    if isinstance(expr, ast.Name):
+        if expr.id in _IMPURE_NAMES:
+            return f"'{expr.id}' (a live object, not wire data)"
+        resolved = model.resolve(module, expr.id)
+        if resolved is not None and (
+            model.function(resolved) is not None
+            or model.class_info(resolved) is not None
+        ):
+            return f"a reference to {expr.id} (function/class, not wire data)"
+        return None
+    if isinstance(expr, ast.Attribute):
+        if expr.attr == "rng" or expr.attr.endswith("_rng"):
+            return "an RNG object (process-local state, not wire data)"
+        if isinstance(expr.value, ast.Name) and expr.value.id in _IMPURE_NAMES:
+            return None  # self.x / ctx.x reads a value; fine
+        return _impure_payload_children(expr.value, module, model)
+    if isinstance(expr, ast.Call):
+        # The call's *result* may be data; only its arguments are payload
+        # subexpressions (a lambda argument still travels).
+        for arg in (*expr.args, *[kw.value for kw in expr.keywords]):
+            reason = _impure_payload(arg, module, model)
+            if reason is not None:
+                return reason
+        if isinstance(expr.func, ast.Lambda):
+            return "a lambda (not picklable wire data)"
+        return None
+    return _impure_payload_children(expr, module, model)
+
+
+def _impure_payload_children(
+    expr: ast.AST, module: ModuleInfo, model: ProgramModel
+) -> Optional[str]:
+    for child in ast.iter_child_nodes(expr):
+        if isinstance(child, ast.expr):
+            reason = _impure_payload(child, module, model)
+            if reason is not None:
+                return reason
+    return None
+
+
+@register_flow
+class ImpurePayload(FlowRule):
+    id = "XPT002"
+    family = "transport-readiness"
+    scopes = ("core/", "system/")
+    summary = "message payload contains a non-data value"
+
+    def check_program(self, model: ProgramModel) -> Iterator[Finding]:
+        for module in model.modules.values():
+            if not self.in_scope(module):
+                continue
+            for node in ast.walk(module.tree):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                ):
+                    continue
+                index = _TRANSPORT_PAYLOAD_ARG.get(node.func.attr)
+                if index is None:
+                    continue
+                payload: Optional[ast.expr] = None
+                if len(node.args) > index:
+                    payload = node.args[index]
+                else:
+                    for kw in node.keywords:
+                        if kw.arg == "payload":
+                            payload = kw.value
+                if payload is None:
+                    continue
+                reason = _impure_payload(payload, module, model)
+                if reason is not None:
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        f"payload contains {reason}; payloads must be pure "
+                        f"data so a real transport can serialise them",
+                    )
+
+
+def _call_dotted(node: ast.AST) -> Optional[str]:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _seam_private_attrs(model: ProgramModel) -> frozenset[str]:
+    """Private attribute names assigned on self inside seam-module classes."""
+    cached = getattr(model, "_seam_private_attrs", None)
+    if cached is not None:
+        return cached
+    attrs: set[str] = set()
+    for dotted in SEAM_MODULES:
+        info = model.modules.get(dotted)
+        if info is None:
+            continue
+        for cls in info.classes.values():
+            for method in cls.methods.values():
+                for node in ast.walk(method):
+                    targets: list[ast.expr] = []
+                    if isinstance(node, ast.Assign):
+                        targets = list(node.targets)
+                    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                        targets = [node.target]
+                    for t in targets:
+                        if (
+                            isinstance(t, ast.Attribute)
+                            and isinstance(t.value, ast.Name)
+                            and t.value.id == "self"
+                            and t.attr.startswith("_")
+                            and not t.attr.startswith("__")
+                        ):
+                            attrs.add(t.attr)
+    frozen = frozenset(attrs)
+    model._seam_private_attrs = frozen  # type: ignore[attr-defined]
+    return frozen
+
+
+@register_flow
+class SeamDiscipline(FlowRule):
+    id = "XPT003"
+    family = "transport-readiness"
+    scopes = ("core/", "system/broadcast/")
+    summary = "transport module used outside the approved seam list"
+
+    def check_program(self, model: ProgramModel) -> Iterator[Finding]:
+        private_attrs = _seam_private_attrs(model)
+        for module in model.modules.values():
+            if not self.in_scope(module):
+                continue
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ImportFrom):
+                    yield from self._check_import(module, node)
+                elif (
+                    isinstance(node, ast.Attribute)
+                    and node.attr in private_attrs
+                    and not (
+                        isinstance(node.value, ast.Name)
+                        and node.value.id == "self"
+                    )
+                ):
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        f"access to transport-private attribute "
+                        f"'{node.attr}'; protocol code may touch the "
+                        f"transport only through the approved seams "
+                        f"(lint.flow.seams.TRANSPORT_SEAMS)",
+                    )
+
+    def _check_import(
+        self, module: ModuleInfo, node: ast.ImportFrom
+    ) -> Iterator[Finding]:
+        anchor = (
+            _import_anchor(module.name, module.is_package, node.level)
+            if node.level
+            else []
+        )
+        base = ".".join([*anchor, *(node.module.split(".") if node.module else [])])
+        logical = SEAM_MODULES.get(base)
+        if logical is None:
+            return
+        allowed = TRANSPORT_SEAMS[logical]
+        for alias in node.names:
+            if alias.name == "*" or alias.name in allowed:
+                continue
+            yield self.finding(
+                module,
+                node.lineno,
+                node.col_offset,
+                f"import of '{alias.name}' from {logical} is outside the "
+                f"approved transport seam list; the seam inventory "
+                f"(lint.flow.seams.TRANSPORT_SEAMS) is the interface the "
+                f"live-transport refactor preserves",
+            )

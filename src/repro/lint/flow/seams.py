@@ -1,0 +1,77 @@
+"""The approved transport seams — XPT's allowlist, ROADMAP item 1's spec.
+
+ROADMAP item 1 extracts a transport interface so ``core/`` and
+``system/broadcast/`` can run as live asyncio nodes instead of simulated
+processes.  That refactor is only safe if protocol code touches the
+simulated transport exclusively through a narrow, enumerated surface —
+anything else (a private deque, a scheduler field) silently couples the
+algorithms to the simulator and breaks the moment the transport is
+swapped.
+
+This module *is* that surface, as data.  The XPT family enforces it:
+
+* :data:`TRANSPORT_SEAMS` — the only names protocol code (``core/``,
+  ``system/broadcast/``) may import from :mod:`repro.system.network`,
+  :mod:`repro.system.scheduler`, and :mod:`repro.system.process`.  The
+  transport extraction must preserve exactly these names and their
+  contracts; everything else in those modules is free to change.
+* :data:`APPROVED_HANDLER_GLOBALS` — module-level mutable state that is
+  deliberately reachable from message handlers.  Each entry is
+  node-local memoisation whose content never influences a decision value
+  (results are bit-identical with the cache off), so it survives the
+  move to one-OS-process-per-node unchanged.
+
+Growing either list is an interface decision, not a lint workaround:
+additions must be reflected in ``docs/static_analysis.md`` (and, for
+seams, in the ROADMAP item 1 inventory).
+"""
+
+from __future__ import annotations
+
+__all__ = ["APPROVED_HANDLER_GLOBALS", "SEAM_MODULES", "TRANSPORT_SEAMS"]
+
+#: logical path -> names protocol code may import from that module.
+TRANSPORT_SEAMS: dict[str, frozenset[str]] = {
+    # The message envelope and its helpers: pure data, wire-ready.
+    "system/messages.py": frozenset(
+        {"ALL", "Message", "canonical_bytes", "defensive_copy", "estimate_bytes"}
+    ),
+    # The process-facing execution surface (what a live node must offer).
+    "system/process.py": frozenset(
+        {"Context", "SyncProcess", "AsyncProcess", "Inbox"}
+    ),
+    # The buffer abstraction a real transport replaces wholesale.
+    "system/network.py": frozenset({"Network", "NetworkStats"}),
+    # The driver surface the runners sit on.
+    "system/scheduler.py": frozenset(
+        {
+            "SynchronousScheduler",
+            "AsyncScheduler",
+            "RunResult",
+            "DeliveryPolicy",
+            "RandomPolicy",
+            "FifoPolicy",
+            "DelayPolicy",
+        }
+    ),
+}
+
+#: Module names (dotted) covered by the seam discipline.
+SEAM_MODULES: dict[str, str] = {
+    "repro.system.messages": "system/messages.py",
+    "repro.system.process": "system/process.py",
+    "repro.system.network": "system/network.py",
+    "repro.system.scheduler": "system/scheduler.py",
+}
+
+#: (logical path, global name) pairs a handler may reach: node-local
+#: memoisation, deterministic, decision-transparent (see module docstring).
+APPROVED_HANDLER_GLOBALS: frozenset[tuple[str, str]] = frozenset(
+    {
+        # Cross-instance memo of round-1 selections: every correct process
+        # recomputes the identical deterministic selection for the same
+        # reference set; the cache only dedupes the convex solve.  Cleared
+        # wholesale (never iterated), so hash order cannot leak.
+        ("core/averaging.py", "_SELECT_CACHE"),
+    }
+)

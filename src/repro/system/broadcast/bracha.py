@@ -23,7 +23,6 @@ cannot inflate quorums by repetition).
 
 from __future__ import annotations
 
-import math
 from typing import Any, Optional
 
 from ...obs import metrics as _obs
@@ -37,14 +36,19 @@ INIT, ECHO, READY = "init", "echo", "ready"
 class BrachaState:
     """Per-process state of one reliable-broadcast instance."""
 
-    def __init__(self, n: int, f: int, sender: int, pid: int):
-        if n < 3 * f + 1:
+    def __init__(self, n: int, f: int, sender: int, pid: int) -> None:
+        # Function-level import: core.__init__ imports the averaging
+        # module, which imports this one — a module-level import of
+        # core.bounds here would close that cycle.
+        from ...core.bounds import bracha_echo_quorum, bracha_ready_quorum, rbc_min_n
+
+        if n < rbc_min_n(f):
             raise ValueError(f"Bracha RBC requires n >= 3f+1, got n={n}, f={f}")
         self.n, self.f = n, f
         self.sender = sender
         self.pid = pid
-        self.echo_threshold = math.ceil((n + f + 1) / 2)
-        self.ready_threshold = 2 * f + 1
+        self.echo_threshold = bracha_echo_quorum(n, f)
+        self.ready_threshold = bracha_ready_quorum(f)
         self._echoed = False
         self._readied = False
         self._echoes: dict[bytes, set[int]] = {}

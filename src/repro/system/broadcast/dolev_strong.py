@@ -63,7 +63,7 @@ class DolevStrongState:
         scheme: SignatureScheme,
         instance: Any = 0,
         default: Any = BroadcastDefault,
-    ):
+    ) -> None:
         self.n, self.f = n, f
         self.sender = sender
         self.pid = pid

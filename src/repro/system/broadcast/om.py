@@ -64,8 +64,11 @@ class EIGState:
 
     def __init__(
         self, n: int, f: int, commander: int, pid: int, default: Any = BroadcastDefault
-    ):
-        if n < 3 * f + 1:
+    ) -> None:
+        # Function-level import — see BrachaState.__init__ for why.
+        from ...core.bounds import rbc_min_n
+
+        if n < rbc_min_n(f):
             raise ValueError(f"OM(f) requires n >= 3f+1, got n={n}, f={f}")
         if not (0 <= commander < n and 0 <= pid < n):
             raise ValueError("commander/pid out of range")

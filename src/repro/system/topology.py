@@ -74,7 +74,12 @@ class Topology:
         necessary-vs-sufficient gap of Vaidya 2014, and the benchmark
         `bench_iterative.py` makes that gap visible empirically.
         """
-        return self.min_degree() + 1 >= (d + 1) * f + 1
+        # Function-level import: core.__init__ reaches back into
+        # system/ modules, so a module-level core.bounds import here
+        # would close an import cycle.
+        from ..core.bounds import tverberg_min_n
+
+        return self.min_degree() + 1 >= tverberg_min_n(d, f)
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,15 @@
+# repro: lint-as core/fixture_flow001.py
+"""Fixture: a process broadcasts kind 'ping' no handler dispatches on.
+
+Expected: exactly one FLOW001 (the 'ping' send); 'pong' is both sent and
+handled so it must not fire.
+"""
+
+
+class FixtureUnhandled(SyncProcess):  # noqa: F821  (model resolves by name)
+    def on_round(self, ctx, round):
+        ctx.broadcast("ping", (round,))
+
+    def on_message(self, ctx, src, tag, payload):
+        if tag == "pong":
+            ctx.send(src, "pong", payload)

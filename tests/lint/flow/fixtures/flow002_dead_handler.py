@@ -1,0 +1,16 @@
+# repro: lint-as core/fixture_flow002.py
+"""Fixture: handler branch for kind 'legacy' that nothing sends.
+
+Expected: exactly one FLOW002 on the 'legacy' dispatch test.
+"""
+
+
+class FixtureDeadArm(SyncProcess):  # noqa: F821
+    def on_round(self, ctx, round):
+        ctx.broadcast("beat", (round,))
+
+    def on_message(self, ctx, src, tag, payload):
+        if tag == "beat":
+            return
+        if tag == "legacy":
+            return

@@ -1,0 +1,18 @@
+# repro: lint-as core/fixture_quo002.py
+"""Fixture: a quorum binding that never reaches core.bounds.
+
+Expected: one QUO002 on the ``self.quorum`` assignment — the value may
+even be numerically right, but nothing ties it to the audited bound.
+"""
+
+
+class FixtureQuorum(SyncProcess):  # noqa: F821
+    def __init__(self, n, f):
+        self.n, self.f = n, f
+        self.quorum = n - f
+
+    def on_round(self, ctx, round):
+        return None
+
+    def on_message(self, ctx, src, tag, payload):
+        return None

@@ -1,0 +1,18 @@
+# repro: lint-as core/fixture_tnt001.py
+"""Fixture: an unseeded RNG draw flows into decide().
+
+Expected: one TNT001 at the decide() call.  (DET001 also fires on the
+stdlib-random import per-file; flow tests select only TNT.)
+"""
+
+import random
+
+
+class FixtureTaintedDecision(SyncProcess):  # noqa: F821
+    def on_round(self, ctx, round):
+        jitter = random.random()
+        value = (round, jitter)
+        ctx.decide(value)
+
+    def on_message(self, ctx, src, tag, payload):
+        return None

@@ -1,0 +1,23 @@
+# repro: lint-as core/fixture_tnt002.py
+"""Fixture: a wall-clock read flows into a payload *through a helper*.
+
+The perf-counter exemption of DET002 means no per-file rule sees this;
+only the interprocedural taint does.  Expected: one TNT002 at the
+broadcast call.
+"""
+
+import time
+
+
+def _now_ms():
+    return time.perf_counter() * 1000.0
+
+
+class FixtureTaintedPayload(SyncProcess):  # noqa: F821
+    def on_round(self, ctx, round):
+        stamp = _now_ms()
+        ctx.broadcast("upd", (round, stamp))
+
+    def on_message(self, ctx, src, tag, payload):
+        if tag == "upd":
+            return None

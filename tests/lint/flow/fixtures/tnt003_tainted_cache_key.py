@@ -1,0 +1,15 @@
+# repro: lint-as geometry/fixture_tnt003.py
+"""Fixture: set-iteration order flows into a cache key.
+
+Expected: TNT003 at the cache subscript (hash order decides the key, so
+hits/misses diverge between runs even though the *values* are equal).
+"""
+
+_KERNEL_CACHE: dict = {}
+
+
+def cached_lookup(points):
+    key = tuple(set(points))
+    if key not in _KERNEL_CACHE:
+        _KERNEL_CACHE[key] = sum(points)
+    return _KERNEL_CACHE[key]

@@ -1,0 +1,20 @@
+# repro: lint-as core/fixture_xpt001.py
+"""Fixture: handler (via a self-call) mutates a module-global dict.
+
+Expected: one XPT001 inside ``_remember`` — reached from ``on_message``
+through the handler closure, so it breaks one-OS-process-per-node.
+"""
+
+_DELIVERIES: dict = {}
+
+
+class FixtureHandlerGlobal(SyncProcess):  # noqa: F821
+    def on_round(self, ctx, round):
+        ctx.broadcast("obs", (round,))
+
+    def on_message(self, ctx, src, tag, payload):
+        if tag == "obs":
+            self._remember(src, payload)
+
+    def _remember(self, src, payload):
+        _DELIVERIES[src] = payload

@@ -1,0 +1,16 @@
+# repro: lint-as core/fixture_xpt002.py
+"""Fixture: payloads carrying a lambda and an RNG object.
+
+Expected: two XPT002 findings — neither value survives serialisation to
+a real transport.
+"""
+
+
+class FixtureImpurePayload(SyncProcess):  # noqa: F821
+    def on_round(self, ctx, round):
+        ctx.broadcast("fn", lambda: round)
+        ctx.send(0, "st", (round, self.rng))
+
+    def on_message(self, ctx, src, tag, payload):
+        if tag == "fn" or tag == "st":
+            return None

@@ -1,0 +1,17 @@
+# repro: lint-as core/fixture_xpt003.py
+"""Fixture: protocol code importing past the approved transport seams.
+
+Expected: one XPT003 — ``_drain_queues`` is not in the seam inventory
+for ``system/scheduler.py`` (``AsyncScheduler`` is, and must not fire).
+"""
+
+from ..system.scheduler import AsyncScheduler, _drain_queues  # noqa: F401
+
+
+class FixtureSeam(SyncProcess):  # noqa: F821
+    def on_round(self, ctx, round):
+        ctx.broadcast("ok", (round,))
+
+    def on_message(self, ctx, src, tag, payload):
+        if tag == "ok":
+            return None

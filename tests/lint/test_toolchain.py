@@ -23,9 +23,21 @@ def test_pyproject_configures_ruff():
 
 def test_pyproject_configures_mypy_strict_subset():
     assert "[tool.mypy]" in PYPROJECT
-    for mod in ('"repro.core.*"', '"repro.geometry.*"', '"repro.obs.*"'):
+    for mod in (
+        '"repro.core.*"',
+        '"repro.geometry.*"',
+        '"repro.obs.*"',
+        '"repro.exec.*"',
+        '"repro.dst.*"',
+    ):
         assert mod in PYPROJECT, f"{mod} missing from strict overrides"
     assert "disallow_untyped_defs = true" in PYPROJECT
+    # The broadcast carve-out must come *after* the permissive
+    # repro.system.* block: mypy resolves overrides last-match-wins.
+    permissive = PYPROJECT.index('"repro.system.*"')
+    carve_out = PYPROJECT.index('"repro.system.broadcast.*"')
+    assert carve_out > permissive
+    assert "ignore_errors = false" in PYPROJECT
 
 
 def test_strict_subset_is_fully_annotated():
@@ -34,7 +46,7 @@ def test_strict_subset_is_fully_annotated():
     import ast
 
     offenders = []
-    for pkg in ("core", "geometry", "obs", "lint"):
+    for pkg in ("core", "geometry", "obs", "lint", "exec", "dst", "system/broadcast"):
         for path in sorted((REPO / "src" / "repro" / pkg).rglob("*.py")):
             tree = ast.parse(path.read_text())
             for node in ast.walk(tree):
