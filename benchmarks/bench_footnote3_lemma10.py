@@ -42,7 +42,7 @@ class TestFootnote3:
                     else Adversary(faulty=[2], strategy=strat)
                 )
                 out = run_spec(algorithm="algo", inputs=inputs, f=1,
-                               adversary=adv, transport="atomic")
+                               adversary=adv, broadcast="atomic")
                 rows.append([d, 3, name, out.delta_used, out.result.rounds,
                              "OK" if out.ok else "FAILED"])
                 assert out.ok, f"d={d}, {name}"
@@ -57,7 +57,7 @@ class TestFootnote3:
         benchmark(
             lambda: run_spec(
                 algorithm="algo", inputs=inputs, f=1,
-                adversary=Adversary(faulty=[2]), transport="atomic",
+                adversary=Adversary(faulty=[2]), broadcast="atomic",
             )
         )
 

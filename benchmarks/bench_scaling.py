@@ -84,7 +84,7 @@ class TestScaling:
             inputs = rng.normal(size=(n, 2))
             out = run_spec(
                 algorithm="exact", inputs=inputs, f=f,
-                adversary=Adversary(faulty=[n - 1]), transport=transport,
+                adversary=Adversary(faulty=[n - 1]), broadcast=transport,
             )
             rows.append([transport, n, f, out.result.stats.messages_sent,
                          "OK" if out.ok else "FAILED"])
@@ -99,6 +99,6 @@ class TestScaling:
         benchmark(
             lambda: run_spec(
                 algorithm="exact", inputs=inputs, f=1, adversary=None,
-                transport="dolev-strong",
+                broadcast="dolev-strong",
             )
         )

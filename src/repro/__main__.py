@@ -21,6 +21,10 @@ Commands
 ``metrics``   Prometheus text-format snapshots: ``serve`` a scrapeable
               endpoint, ``snapshot`` to stdout/file, ``diff`` counter
               deltas between two exported JSONL traces
+``node``      run ONE live consensus node (own OS process) from a
+              topology file; prints a one-line JSON decision record
+``launch``    spawn an n-node local live cluster (TCP or UDS), collect
+              every node's decision, and judge agreement
 ``lint``      protocol-aware static analysis: per-file rule families
               (determinism/float-safety/resilience-bounds/handler-
               hygiene/observability) plus whole-program flow analysis
@@ -55,6 +59,8 @@ Examples::
     python -m repro bench --compare BENCH_perf.json BENCH_new.json
     python -m repro metrics serve --demo --port 9464 --max-requests 1
     python -m repro metrics snapshot --from run.jsonl
+    python -m repro launch --algorithm averaging --n 4 --d 2 --transport tcp
+    python -m repro node --topology cluster/topology.json --id 2
     python -m repro lint src/repro benchmarks examples --check-noqa
     python -m repro lint --format sarif
     python -m repro lint --list-rules
@@ -721,6 +727,80 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_node(args: argparse.Namespace) -> int:
+    import json
+
+    from .exec.live_launch import load_topology, run_node
+    from .system.transport.base import TransportError
+
+    try:
+        doc = load_topology(args.topology)
+    except (OSError, ValueError) as exc:
+        return _fail(f"cannot load topology {args.topology!r}: {exc}")
+    if not 0 <= args.id < int(doc["n"]):
+        return _fail(f"--id must be in 0..{int(doc['n']) - 1}, got {args.id}")
+
+    def emit(record: dict) -> None:
+        # Printed before any --linger window so the launcher can read the
+        # decision while this node keeps serving /metrics.
+        print(json.dumps(record, sort_keys=True), flush=True)
+
+    try:
+        record = run_node(
+            doc, args.id, metrics_port=args.metrics_port,
+            linger=args.linger, trace_path=args.trace, emit=emit,
+        )
+    except (TransportError, OSError) as exc:
+        return _fail(f"node {args.id} failed: {exc}")
+    return 0 if record["decided"] and record["completed"] else 1
+
+
+def _cmd_launch(args: argparse.Namespace) -> int:
+    import json
+
+    from .exec.live_launch import launch_local
+
+    if args.n < 2:
+        return _fail(f"--n must be >= 2, got {args.n}")
+    try:
+        report = launch_local(
+            args.algorithm, args.n, args.d, args.f,
+            kind=args.transport, seed=args.seed, broadcast=args.broadcast,
+            p=args.p, k=args.k, epsilon=args.epsilon, rounds=args.rounds,
+            timeout=args.timeout, metrics_port=args.metrics_port,
+            linger=args.linger, trace_dir=args.trace_dir,
+        )
+    except ValueError as exc:
+        return _fail(str(exc))
+    print(f"launched {report['n']} {args.transport} nodes: "
+          f"{report['algorithm']} d={report['d']} f={report['f']} "
+          f"seed={report['seed']} ({report['instance']})")
+    for record in report["nodes"]:
+        if record is None:
+            continue
+        decision = record["decision"]
+        shown = ("-" if decision is None
+                 else str([round(x, 4) for x in decision]))
+        print(f"  node {record['node']}: decided={record['decided']} "
+              f"rounds={record['rounds']} decision={shown}")
+    for err in report["errors"]:
+        print(f"  ERROR {err}", file=sys.stderr)
+    print(f"agreement spread {report['agreement_spread']:.3e} "
+          f"(tolerance {report['agreement_tolerance']:.3e}); "
+          f"{report['decided_nodes']}/{report['n']} decided -> "
+          + ("OK" if report["ok"] else "FAILED"))
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        except OSError as exc:
+            return _fail(f"cannot write {args.out!r}: {exc}")
+        if not args.quiet:
+            print(f"wrote {args.out}")
+    return 0 if report["ok"] else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .lint import cli as lint_cli
 
@@ -994,6 +1074,62 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None,
                    help="snapshot: write the exposition text to this file")
     p.set_defaults(func=_cmd_metrics)
+
+    p = sub.add_parser(
+        "node", parents=[common],
+        help="run one live consensus node from a topology file "
+             "(prints a one-line JSON decision record)",
+    )
+    p.add_argument("--topology", required=True,
+                   help="topology JSON (repro.transport.topology/1), "
+                        "shared by every node of the cluster")
+    p.add_argument("--id", type=int, required=True,
+                   help="this node's id (0..n-1)")
+    p.add_argument("--metrics-port", type=int, default=None,
+                   help="serve live Prometheus text at /metrics on this "
+                        "port for the whole run")
+    p.add_argument("--linger", type=float, default=0.0,
+                   help="keep serving /metrics this many seconds after "
+                        "the decision line is printed")
+    p.add_argument("--trace", default=None,
+                   help="export this node's span/metrics trail as JSONL")
+    p.set_defaults(func=_cmd_node)
+
+    p = sub.add_parser(
+        "launch", parents=[common],
+        help="spawn an n-node local live cluster and judge agreement",
+    )
+    p.add_argument("--algorithm", default="averaging",
+                   help="exact,algo,krelaxed,scalar,iterative,averaging "
+                        "(default averaging)")
+    p.add_argument("--n", type=int, default=4)
+    p.add_argument("--d", type=int, default=2)
+    p.add_argument("--f", type=int, default=1)
+    p.add_argument("--transport", default="tcp", choices=["tcp", "uds"],
+                   help="loopback TCP or Unix-domain sockets (default tcp)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="master seed: inputs, per-node rngs, signature keys")
+    p.add_argument("--broadcast", default="eig",
+                   choices=["eig", "dolev-strong", "atomic"],
+                   help="sync algorithms' broadcast primitive (default eig)")
+    p.add_argument("--p", type=float, default=2.0)
+    p.add_argument("--k", type=int, default=1)
+    p.add_argument("--epsilon", type=float, default=5e-2)
+    p.add_argument("--rounds", type=int, default=None,
+                   help="protocol rounds (default: the algorithm's own "
+                        "estimate, resolved into the topology file)")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="whole-cluster wall-clock budget in seconds")
+    p.add_argument("--metrics-port", type=int, default=None,
+                   help="node 0 serves /metrics on this port")
+    p.add_argument("--linger", type=float, default=0.0,
+                   help="node 0 keeps serving /metrics this long after "
+                        "deciding")
+    p.add_argument("--trace-dir", default=None,
+                   help="collect one JSONL trace per node in this directory")
+    p.add_argument("--out", default=None,
+                   help="write the full launch report as JSON")
+    p.set_defaults(func=_cmd_launch)
 
     p = sub.add_parser(
         "lint", parents=[common],

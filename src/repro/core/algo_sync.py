@@ -65,10 +65,10 @@ class AlgoProcess(BroadcastAllProcess):
         input_value: np.ndarray,
         *,
         p: PNorm = 2,
-        transport: str = "eig",
+        broadcast: str = "eig",
         scheme: Optional[SignatureScheme] = None,
     ):
-        super().__init__(n, f, pid, input_value, transport=transport, scheme=scheme)
+        super().__init__(n, f, pid, input_value, broadcast=broadcast, scheme=scheme)
         self.p = p
         self.delta_used: Optional[float] = None
         self.delta_result: Optional[DeltaStarResult] = None

@@ -52,7 +52,7 @@ from ..geometry.tolerance import near_zero
 from ..obs.causal import note_decision, note_iteration
 from ..obs.perf import perf_phase
 from ..obs.tracer import trace_event
-from ..system.broadcast.bracha import BrachaState
+from ..system.broadcast.interface import make_broadcast
 from ..system.process import AsyncProcess, Context
 
 __all__ = [
@@ -150,7 +150,8 @@ class VerifiedAveragingProcess(AsyncProcess):
         self.p = p
         self.quorum = averaging_quorum(n, f)
 
-        self._rb: dict[tuple[int, int], BrachaState] = {}
+        #: (sender, round) -> Bracha RBC machine (via make_broadcast)
+        self._rb: dict[tuple[int, int], Any] = {}
         self._delivered: dict[tuple[int, int], Any] = {}
         #: (sender, round) -> verified value vector
         self.verified: dict[tuple[int, int], np.ndarray] = {}
@@ -164,10 +165,12 @@ class VerifiedAveragingProcess(AsyncProcess):
         self._claim_delta: Optional[float] = None
 
     # --------------------------------------------------------------- helpers
-    def _machine(self, sender: int, round: int) -> BrachaState:
+    def _machine(self, sender: int, round: int) -> Any:
         key = (sender, round)
         if key not in self._rb:
-            self._rb[key] = BrachaState(self.n, self.f, sender, self.pid)
+            self._rb[key] = make_broadcast(
+                "bracha", self.n, self.f, sender, self.pid
+            )
         return self._rb[key]
 
     def _rb_send(

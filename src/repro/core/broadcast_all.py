@@ -24,8 +24,7 @@ from typing import Any, Optional
 
 import numpy as np
 
-from ..system.broadcast.dolev_strong import DolevStrongState
-from ..system.broadcast.om import EIGState
+from ..system.broadcast.interface import make_broadcast
 from ..system.crypto import SignatureScheme
 from ..system.process import Context, Inbox, SyncProcess
 
@@ -46,15 +45,17 @@ class BroadcastAllProcess(SyncProcess):
         System parameters and this process's id.
     input_value:
         This process's ``d``-dimensional input vector.
-    transport:
+    broadcast:
         ``"eig"`` (OM(f), needs ``n >= 3f+1``, exponential in f),
         ``"dolev-strong"`` (authenticated, needs a shared
         :class:`SignatureScheme`), or ``"atomic"`` — the paper's
         footnote-3 model where the network itself is a reliable broadcast
         channel, making Step 1 a single round and lifting the
-        ``n >= 3f+1`` requirement entirely.
+        ``n >= 3f+1`` requirement entirely.  (This knob was historically
+        named ``transport``; that name now selects the execution backend
+        on :class:`~repro.core.runspec.RunSpec`.)
     scheme:
-        Signature scheme, required for the authenticated transport.
+        Signature scheme, required for the authenticated broadcast.
     """
 
     def __init__(
@@ -64,35 +65,35 @@ class BroadcastAllProcess(SyncProcess):
         pid: int,
         input_value: np.ndarray,
         *,
-        transport: str = "eig",
+        broadcast: str = "eig",
         scheme: Optional[SignatureScheme] = None,
     ):
         self.n, self.f, self.pid = n, f, pid
         self.input_value = np.asarray(input_value, dtype=float).ravel()
         self.d = self.input_value.size
-        if transport not in ("eig", "dolev-strong", "atomic"):
-            raise ValueError(f"unknown transport {transport!r}")
-        if transport == "dolev-strong" and scheme is None:
-            raise ValueError("dolev-strong transport requires a SignatureScheme")
-        self.transport = transport
-        if transport == "eig":
-            self.instances: dict[int, Any] = {
-                c: EIGState(n, f, c, pid) for c in range(n)
-            }
-        elif transport == "dolev-strong":
+        if broadcast not in ("eig", "dolev-strong", "atomic"):
+            raise ValueError(f"unknown broadcast {broadcast!r}")
+        if broadcast == "dolev-strong" and scheme is None:
+            raise ValueError("dolev-strong broadcast requires a SignatureScheme")
+        self.broadcast = broadcast
+        if broadcast == "atomic":
+            # atomic channel: one slot per sender, filled on delivery
+            self.instances: dict[int, Any] = {}
+            self._atomic_values: dict[int, Any] = {}
+        else:
             self.instances = {
-                c: DolevStrongState(n, f, c, pid, scheme, instance=c)
+                c: make_broadcast(
+                    broadcast, n, f, c, pid,
+                    scheme=scheme if broadcast == "dolev-strong" else None,
+                )
                 for c in range(n)
             }
-        else:  # atomic channel: one slot per sender, filled on delivery
-            self.instances = {}
-            self._atomic_values: dict[int, Any] = {}
         self.multiset: Optional[list[Any]] = None
         self.defaulted_senders: list[int] = []
 
     # ------------------------------------------------------------- template
     def on_round(self, ctx: Context, round: int, inbox: Inbox) -> None:
-        if self.transport == "atomic":
+        if self.broadcast == "atomic":
             self._on_round_atomic(ctx, round, inbox)
             return
         # 1. feed deliveries into the per-commander broadcast machines
@@ -185,6 +186,6 @@ class BroadcastAllProcess(SyncProcess):
     def total_rounds(self) -> int:
         """Scheduler rounds this process needs (sends 0..f, decide at f+1;
         the atomic channel needs exactly 2 regardless of f)."""
-        if self.transport == "atomic":
+        if self.broadcast == "atomic":
             return 2
         return self.f + 2

@@ -58,10 +58,10 @@ class KRelaxedProcess(BroadcastAllProcess):
         input_value: np.ndarray,
         *,
         k: int,
-        transport: str = "eig",
+        broadcast: str = "eig",
         scheme: Optional[SignatureScheme] = None,
     ):
-        super().__init__(n, f, pid, input_value, transport=transport, scheme=scheme)
+        super().__init__(n, f, pid, input_value, broadcast=broadcast, scheme=scheme)
         if not 1 <= k <= self.d:
             raise ValueError(f"need 1 <= k <= d={self.d}, got k={k}")
         self.k = k

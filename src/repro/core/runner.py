@@ -31,12 +31,8 @@ from ..obs.probes import Probe, ProbeReport, build_probes
 from ..system.adversary import Adversary
 from ..system.crypto import SignatureScheme
 from ..system.process import SyncProcess
-from ..system.scheduler import (
-    AsyncScheduler,
-    DeliveryPolicy,
-    RunResult,
-    SynchronousScheduler,
-)
+from ..system.scheduler import DeliveryPolicy, RunResult
+from ..system.transport.base import get_transport
 from .algo_sync import AlgoProcess
 from .averaging import VerifiedAveragingProcess, rounds_for_epsilon
 from .exact_bvc import ExactBVCProcess
@@ -62,7 +58,7 @@ __all__ = ["ConsensusOutcome", "RunSpec", "run", "run_exact_bvc", "run_algo",
 
 PNorm = Union[float, int]
 
-#: builder invoked per pid: (n, f, pid, input, transport, scheme) -> process
+#: builder invoked per pid: (n, f, pid, input, broadcast, scheme) -> process
 ProcessFactory = Callable[
     [int, int, int, np.ndarray, str, Optional[SignatureScheme]], SyncProcess
 ]
@@ -132,7 +128,8 @@ def _run_sync(
     adversary: Optional[Adversary],
     spec: ProblemSpec,
     *,
-    transport: str = "eig",
+    broadcast: str = "eig",
+    transport: str = "sim",
     seed: int = 0,
     max_rounds: int = 64,
     probes: Sequence[Probe] = (),
@@ -140,27 +137,28 @@ def _run_sync(
     inputs, adversary, honest = _prep(inputs, adversary)
     n = inputs.shape[0]
     rng = np.random.default_rng(seed)
-    scheme = SignatureScheme(n, rng) if transport == "dolev-strong" else None
+    scheme = SignatureScheme(n, rng) if broadcast == "dolev-strong" else None
     procs: list[SyncProcess] = [
-        make_process(n, f, pid, inputs[pid], transport, scheme) for pid in range(n)
+        make_process(n, f, pid, inputs[pid], broadcast, scheme) for pid in range(n)
     ]
-    sched = SynchronousScheduler(
+    backend = get_transport(transport)
+    result = backend.run_sync(
         procs,
         f,
-        adversary,
+        adversary=adversary,
         rng=rng,
         max_rounds=max_rounds,
         sign=scheme.signer_for(set(adversary.faulty)) if scheme else None,
         probes=probes,
+        seed=seed,
     )
-    result = sched.run()
     decisions = {
         pid: np.asarray(v, dtype=float)
         for pid, v in result.correct_decisions.items()
     }
     report = spec.check(honest, decisions, terminated=result.completed)
     delta = None
-    for pid, proc in sched.processes.items():
+    for pid, proc in enumerate(procs):
         if pid not in adversary.faulty and getattr(proc, "delta_used", None) is not None:
             delta = proc.delta_used
             break
@@ -178,13 +176,14 @@ def _handle_exact(spec: RunSpec) -> ConsensusOutcome:
 
     def make(
         n: int, f_: int, pid: int, v: np.ndarray,
-        transport_: str, scheme: Optional[SignatureScheme],
+        broadcast_: str, scheme: Optional[SignatureScheme],
     ) -> SyncProcess:
-        return ExactBVCProcess(n, f_, pid, v, transport=transport_, scheme=scheme)
+        return ExactBVCProcess(n, f_, pid, v, broadcast=broadcast_, scheme=scheme)
 
     return _run_sync(make, inputs, spec.f, spec.adversary, ExactBVC(d, spec.f),
-                     transport=spec.transport, seed=spec.seed,
-                     max_rounds=spec.max_rounds, probes=_spec_probes(spec))
+                     broadcast=spec.broadcast, transport=spec.transport,
+                     seed=spec.seed, max_rounds=spec.max_rounds,
+                     probes=_spec_probes(spec))
 
 
 def _handle_algo(spec: RunSpec) -> ConsensusOutcome:
@@ -194,17 +193,18 @@ def _handle_algo(spec: RunSpec) -> ConsensusOutcome:
 
     def make(
         n: int, f_: int, pid: int, v: np.ndarray,
-        transport_: str, scheme: Optional[SignatureScheme],
+        broadcast_: str, scheme: Optional[SignatureScheme],
     ) -> SyncProcess:
         return AlgoProcess(
-            n, f_, pid, v, p=p, transport=transport_, scheme=scheme
+            n, f_, pid, v, p=p, broadcast=broadcast_, scheme=scheme
         )
 
     # Run with a placeholder spec, then re-check against the achieved δ*.
     outcome = _run_sync(
         make, inputs, spec.f, adversary,
         DeltaPExactBVC(d, spec.f, delta=0.0, p=p),
-        transport=spec.transport, seed=spec.seed, max_rounds=spec.max_rounds,
+        broadcast=spec.broadcast, transport=spec.transport,
+        seed=spec.seed, max_rounds=spec.max_rounds,
         probes=_spec_probes(spec),
     )
     if spec.check_delta is not None:
@@ -229,31 +229,32 @@ def _handle_krelaxed(spec: RunSpec) -> ConsensusOutcome:
 
     def make(
         n: int, f_: int, pid: int, v: np.ndarray,
-        transport_: str, scheme: Optional[SignatureScheme],
+        broadcast_: str, scheme: Optional[SignatureScheme],
     ) -> SyncProcess:
         return KRelaxedProcess(
-            n, f_, pid, v, k=k, transport=transport_, scheme=scheme
+            n, f_, pid, v, k=k, broadcast=broadcast_, scheme=scheme
         )
 
     return _run_sync(make, inputs, spec.f, spec.adversary,
                      KRelaxedExactBVC(d, spec.f, k=k),
-                     transport=spec.transport, seed=spec.seed,
-                     max_rounds=spec.max_rounds, probes=_spec_probes(spec))
+                     broadcast=spec.broadcast, transport=spec.transport,
+                     seed=spec.seed, max_rounds=spec.max_rounds,
+                     probes=_spec_probes(spec))
 
 
 def _handle_scalar(spec: RunSpec) -> ConsensusOutcome:
     def make(
         n: int, f_: int, pid: int, v: np.ndarray,
-        transport_: str, scheme: Optional[SignatureScheme],
+        broadcast_: str, scheme: Optional[SignatureScheme],
     ) -> SyncProcess:
         return ScalarConsensusProcess(
-            n, f_, pid, v, transport=transport_, scheme=scheme
+            n, f_, pid, v, broadcast=broadcast_, scheme=scheme
         )
 
     return _run_sync(make, spec.resolved_inputs(), spec.f, spec.adversary,
-                     ExactBVC(1, spec.f), transport=spec.transport,
-                     seed=spec.seed, max_rounds=spec.max_rounds,
-                     probes=_spec_probes(spec))
+                     ExactBVC(1, spec.f), broadcast=spec.broadcast,
+                     transport=spec.transport, seed=spec.seed,
+                     max_rounds=spec.max_rounds, probes=_spec_probes(spec))
 
 
 def _handle_iterative(spec: RunSpec) -> ConsensusOutcome:
@@ -273,14 +274,15 @@ def _handle_iterative(spec: RunSpec) -> ConsensusOutcome:
         )
         for pid in range(n)
     ]
-    sched = SynchronousScheduler(
-        procs, spec.f, adversary,
+    backend = get_transport(spec.transport)
+    result = backend.run_sync(
+        procs, spec.f, adversary=adversary,
         rng=np.random.default_rng(spec.seed),
         max_rounds=rounds + 2,
         topology=topo,
         probes=_spec_probes(spec),
+        seed=spec.seed,
     )
-    result = sched.run()
     decisions = {
         pid: np.asarray(v, dtype=float)
         for pid, v in result.correct_decisions.items()
@@ -313,20 +315,21 @@ def _handle_averaging(spec: RunSpec) -> ConsensusOutcome:
         )
         for pid in range(n)
     ]
-    sched = AsyncScheduler(
-        procs, spec.f, adversary,
+    backend = get_transport(spec.transport)
+    result = backend.run_async(
+        procs, spec.f, adversary=adversary,
         policy=spec.policy, rng=np.random.default_rng(spec.seed),
         max_steps=spec.max_steps,
         probes=_spec_probes(spec),
+        seed=spec.seed,
     )
-    result = sched.run()
     decisions = {
         pid: np.asarray(v, dtype=float)
         for pid, v in result.correct_decisions.items()
     }
     deltas = [
         proc.delta_used
-        for pid, proc in sched.processes.items()
+        for pid, proc in enumerate(procs)
         if pid not in adversary.faulty
         and getattr(proc, "delta_used", None) is not None
     ]
@@ -393,7 +396,7 @@ def run_exact_bvc(
        ``run(RunSpec(algorithm="exact", ...))``.
     """
     return run(RunSpec(algorithm="exact", inputs=inputs, f=f,
-                       adversary=adversary, transport=transport, seed=seed))
+                       adversary=adversary, broadcast=transport, seed=seed))
 
 
 def run_algo(
@@ -417,7 +420,7 @@ def run_algo(
        ``run(RunSpec(algorithm="algo", ...))``.
     """
     return run(RunSpec(algorithm="algo", inputs=inputs, f=f,
-                       adversary=adversary, p=p, transport=transport,
+                       adversary=adversary, p=p, broadcast=transport,
                        seed=seed, check_delta=check_delta))
 
 
@@ -437,7 +440,7 @@ def run_k_relaxed(
        ``run(RunSpec(algorithm="krelaxed", k=k, ...))``.
     """
     return run(RunSpec(algorithm="krelaxed", inputs=inputs, f=f, k=k,
-                       adversary=adversary, transport=transport, seed=seed))
+                       adversary=adversary, broadcast=transport, seed=seed))
 
 
 def run_scalar(
@@ -454,7 +457,7 @@ def run_scalar(
        ``run(RunSpec(algorithm="scalar", ...))``.
     """
     return run(RunSpec(algorithm="scalar", inputs=inputs, f=f,
-                       adversary=adversary, transport=transport, seed=seed))
+                       adversary=adversary, broadcast=transport, seed=seed))
 
 
 def run_iterative(

@@ -16,6 +16,10 @@ Canonical knob vocabulary (see ``docs/api.md`` for the legacy mapping):
 
 ============  =========================================================
 ``p``         norm order of the relaxation (legacy: also ``norm``)
+``broadcast``   broadcast primitive of the synchronous algorithms
+              (legacy name: ``transport``)
+``transport``   execution backend (``"sim"``, ``"live-tcp"``,
+              ``"live-uds"``) — see :mod:`repro.system.transport`
 ``rounds``    protocol rounds an algorithm executes (legacy
               ``num_rounds``); ``None`` means the algorithm's default
 ``max_rounds``  synchronous scheduler safety cap, not a protocol knob
@@ -71,9 +75,16 @@ class RunSpec:
     adversary:
         :class:`~repro.system.adversary.Adversary` (default: none
         faulty).
+    broadcast:
+        Broadcast primitive for the synchronous algorithms (``"eig"``,
+        ``"dolev-strong"``, or ``"atomic"``).  This was historically
+        named ``transport``; that name now selects the execution
+        backend instead.
     transport:
-        Broadcast transport for the synchronous algorithms (``"eig"`` or
-        ``"dolev-strong"``).
+        Execution backend, one of the registered transport names:
+        ``"sim"`` (deterministic in-process simulator, the default),
+        ``"live-tcp"`` / ``"live-uds"`` (real asyncio nodes over
+        loopback sockets; honest runs only).
     topology:
         Communication graph for ``"iterative"`` (default: complete).
     p, k, delta, epsilon:
@@ -118,7 +129,8 @@ class RunSpec:
     n: Optional[int] = None
     d: Optional[int] = None
     adversary: Optional["Adversary"] = None
-    transport: str = "eig"
+    broadcast: str = "eig"
+    transport: str = "sim"
     topology: Optional["Topology"] = None
     p: PNorm = 2
     k: int = 1
@@ -143,6 +155,27 @@ class RunSpec:
             )
         if self.f < 0:
             raise ValueError(f"f must be >= 0, got {self.f}")
+        from ..system.broadcast.interface import BROADCAST_KINDS
+
+        if self.broadcast not in BROADCAST_KINDS + ("atomic",):
+            raise ValueError(
+                f"unknown broadcast {self.broadcast!r}; choices "
+                f"{BROADCAST_KINDS + ('atomic',)}"
+            )
+        if self.transport in BROADCAST_KINDS + ("atomic",):
+            raise ValueError(
+                f"transport={self.transport!r} names a broadcast "
+                f"primitive; the broadcast knob was renamed — write "
+                f"broadcast={self.transport!r}.  transport now selects "
+                f"the execution backend ('sim', 'live-tcp', 'live-uds')."
+            )
+        from ..system.transport.base import transport_names
+
+        if self.transport not in transport_names():
+            raise ValueError(
+                f"unknown transport {self.transport!r}; choices "
+                f"{transport_names()}"
+            )
         if self.k < 1:
             raise ValueError(f"k must be >= 1, got {self.k}")
         if self.delta < 0:

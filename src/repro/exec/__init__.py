@@ -32,28 +32,44 @@ from .grid import (
     derive_trial_seed,
     min_trial_size,
 )
+from .live_launch import (
+    TOPOLOGY_SCHEMA,
+    build_process,
+    build_topology,
+    launch_local,
+    load_topology,
+    run_node,
+    write_topology,
+)
 from .results import SweepResult, TrialResult, decisions_to_hex, hex_to_decisions
 
 __all__ = [
     "ADVERSARIES",
     "BENCH_SCHEMA",
     "STANDARD_GRIDS",
+    "TOPOLOGY_SCHEMA",
     "SweepGrid",
     "SweepResult",
     "TrialResult",
     "TrialSpec",
     "bench_grid",
     "build_adversary",
+    "build_process",
     "build_runspec",
+    "build_topology",
     "compare_bench",
     "compare_grid",
     "decisions_to_hex",
     "derive_trial_seed",
     "environment_block",
     "hex_to_decisions",
+    "launch_local",
+    "load_topology",
     "min_trial_size",
     "run_bench",
     "run_grid",
+    "run_node",
     "run_sweep",
     "run_trial",
+    "write_topology",
 ]

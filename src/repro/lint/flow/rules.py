@@ -46,7 +46,12 @@ from ..rules.resilience import _is_bound_mult
 from ..rules.common import is_int_const
 from .model import ClassInfo, ModuleInfo, ProgramModel
 from .msgflow import MessageProfile, class_profile
-from .seams import APPROVED_HANDLER_GLOBALS, SEAM_MODULES, TRANSPORT_SEAMS
+from .seams import (
+    APPROVED_HANDLER_GLOBALS,
+    SEAM_INTERNAL,
+    SEAM_MODULES,
+    TRANSPORT_SEAMS,
+)
 from .taint import TaintAnalysis, _TRANSPORT_PAYLOAD_ARG
 from .model import _import_anchor
 
@@ -640,6 +645,10 @@ class SeamDiscipline(FlowRule):
     def _check_import(
         self, module: ModuleInfo, node: ast.ImportFrom
     ) -> Iterator[Finding]:
+        if module.logical_path in SEAM_INTERNAL:
+            # Facades are the seam: they import the implementations they
+            # front.  (Their private attrs are still checked above.)
+            return
         anchor = (
             _import_anchor(module.name, module.is_package, node.level)
             if node.level

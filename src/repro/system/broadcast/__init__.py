@@ -1,11 +1,24 @@
-"""Broadcast protocols: OM(f)/EIG, authenticated Dolev–Strong, Bracha RBC."""
+"""Broadcast protocols: OM(f)/EIG, authenticated Dolev–Strong, Bracha RBC.
+
+Protocol code constructs machines through
+:func:`~repro.system.broadcast.interface.make_broadcast`; the concrete
+``*State`` classes and round-count helpers remain importable for tests
+and embeddings that poke at machine internals.
+"""
 
 from .bracha import ECHO, INIT, READY, BrachaState
 from .dolev_strong import DolevStrongState, ds_total_rounds
-from .interface import BroadcastDefault, majority
+from .interface import (
+    BROADCAST_KINDS,
+    BroadcastDefault,
+    broadcast_rounds,
+    majority,
+    make_broadcast,
+)
 from .om import EIGState, eig_total_rounds
 
 __all__ = [
+    "BROADCAST_KINDS",
     "BrachaState",
     "BroadcastDefault",
     "DolevStrongState",
@@ -13,7 +26,9 @@ __all__ = [
     "EIGState",
     "INIT",
     "READY",
+    "broadcast_rounds",
     "ds_total_rounds",
     "eig_total_rounds",
     "majority",
+    "make_broadcast",
 ]

@@ -20,9 +20,20 @@ Properties provided (under ``n >= 3f + 1``):
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Optional
 
-__all__ = ["BroadcastDefault", "majority"]
+__all__ = [
+    "BROADCAST_KINDS",
+    "BroadcastDefault",
+    "broadcast_rounds",
+    "majority",
+    "make_broadcast",
+]
+
+#: Broadcast primitives constructible through :func:`make_broadcast` —
+#: the construction-time vocabulary of ``RunSpec.broadcast`` (which also
+#: accepts ``"atomic"``, a channel primitive with no state machine).
+BROADCAST_KINDS = ("eig", "dolev-strong", "bracha")
 
 #: Sentinel used as the default decision when a Byzantine sender's value
 #: cannot be pinned down.  Protocol embeddings usually replace it with a
@@ -50,3 +61,77 @@ def majority(values: list[Any], default: Any = BroadcastDefault) -> Any:
     if 2 * best_cnt > len(values):
         return best_val
     return default
+
+
+def broadcast_rounds(kind: str, f: int) -> int:
+    """Scheduler rounds one instance of ``kind`` occupies (sync kinds).
+
+    Bracha is asynchronous — it has message phases, not lockstep rounds
+    — so asking for its round count is a ``ValueError``.
+    """
+    if kind == "eig":
+        from .om import eig_total_rounds
+
+        return eig_total_rounds(f)
+    if kind == "dolev-strong":
+        from .dolev_strong import ds_total_rounds
+
+        return ds_total_rounds(f)
+    if kind == "bracha":
+        raise ValueError("bracha is asynchronous; it has no round count")
+    raise ValueError(f"unknown broadcast kind {kind!r}; choices {BROADCAST_KINDS}")
+
+
+def make_broadcast(
+    kind: str,
+    n: int,
+    f: int,
+    sender: int,
+    pid: int,
+    *,
+    scheme: Any = None,
+    instance: Optional[Any] = None,
+    default: Any = BroadcastDefault,
+) -> Any:
+    """Construct one broadcast state machine — the single entry surface.
+
+    Protocol code selects a primitive by name instead of importing the
+    concrete ``*State`` classes (whose constructors are implementation
+    detail and whose modules sit behind the XPT003 seam allowlist):
+
+    ``"eig"``
+        :class:`~repro.system.broadcast.om.EIGState` — unauthenticated
+        OM(f); ``scheme`` must be omitted.
+    ``"dolev-strong"``
+        :class:`~repro.system.broadcast.dolev_strong.DolevStrongState`
+        — authenticated; requires a
+        :class:`~repro.system.crypto.SignatureScheme`.  ``instance``
+        defaults to ``sender`` (the convention of every current caller:
+        one instance per commander).
+    ``"bracha"``
+        :class:`~repro.system.broadcast.bracha.BrachaState` — async
+        reliable broadcast; takes neither scheme nor default.
+    """
+    if kind == "eig":
+        if scheme is not None:
+            raise ValueError("eig broadcast is unauthenticated; scheme must be None")
+        from .om import EIGState
+
+        return EIGState(n, f, sender, pid, default=default)
+    if kind == "dolev-strong":
+        if scheme is None:
+            raise ValueError("dolev-strong broadcast requires a SignatureScheme")
+        from .dolev_strong import DolevStrongState
+
+        return DolevStrongState(
+            n, f, sender, pid, scheme,
+            instance=sender if instance is None else instance,
+            default=default,
+        )
+    if kind == "bracha":
+        if scheme is not None:
+            raise ValueError("bracha broadcast is unauthenticated; scheme must be None")
+        from .bracha import BrachaState
+
+        return BrachaState(n, f, sender, pid)
+    raise ValueError(f"unknown broadcast kind {kind!r}; choices {BROADCAST_KINDS}")

@@ -1,0 +1,88 @@
+"""The deterministic in-process backend: a thin scheduler adapter.
+
+``SimTransport`` constructs :class:`~repro.system.scheduler.SynchronousScheduler`
+/ :class:`~repro.system.scheduler.AsyncScheduler` with *exactly* the
+arguments the runner historically passed them and runs to completion.
+There is deliberately nothing else here: every determinism guarantee in
+the tree — DST replay tokens, the sweep ``decisions_digest``,
+probes-on/off bit-identity, causal tracing — is a property of the
+schedulers, and this adapter preserves it by construction.  The
+``rng`` handed in is the run's master generator, already positioned by
+the caller; this backend consumes it in the same order the schedulers
+always have.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from ..adversary import Adversary
+from ..process import AsyncProcess, SyncProcess
+from ..scheduler import (
+    AsyncScheduler,
+    DeliveryPolicy,
+    RunResult,
+    SynchronousScheduler,
+)
+from ..topology import Topology
+from ...obs.probes import Probe
+from .base import Transport
+
+__all__ = ["SimTransport"]
+
+
+class SimTransport(Transport):
+    """Deterministic simulator backend (the default)."""
+
+    name = "sim"
+    deterministic = True
+
+    def run_sync(
+        self,
+        processes: Sequence[SyncProcess],
+        f: int,
+        *,
+        adversary: Optional[Adversary] = None,
+        rng: Optional[np.random.Generator] = None,
+        max_rounds: int = 10_000,
+        sign: Optional[Callable[[int, Any], Any]] = None,
+        topology: Optional[Topology] = None,
+        probes: Sequence[Probe] = (),
+        seed: int = 0,
+    ) -> RunResult:
+        sched = SynchronousScheduler(
+            processes,
+            f,
+            adversary,
+            rng=rng,
+            max_rounds=max_rounds,
+            sign=sign,
+            topology=topology,
+            probes=probes,
+        )
+        return sched.run()
+
+    def run_async(
+        self,
+        processes: Sequence[AsyncProcess],
+        f: int,
+        *,
+        adversary: Optional[Adversary] = None,
+        policy: Optional[DeliveryPolicy] = None,
+        rng: Optional[np.random.Generator] = None,
+        max_steps: int = 1_000_000,
+        probes: Sequence[Probe] = (),
+        seed: int = 0,
+    ) -> RunResult:
+        sched = AsyncScheduler(
+            processes,
+            f,
+            adversary,
+            policy=policy,
+            rng=rng,
+            max_steps=max_steps,
+            probes=probes,
+        )
+        return sched.run()

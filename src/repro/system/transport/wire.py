@@ -1,0 +1,221 @@
+"""Length-prefixed, versioned wire protocol for live transports.
+
+Frame layout (everything big-endian)::
+
+    +----------------+----------------------------------------+
+    | length: u32    | body: pickled record (length bytes)    |
+    +----------------+----------------------------------------+
+
+The body is one *record* — a plain tuple whose first element is the
+record type:
+
+``HELLO``
+    ``(HELLO, node_id, wire_version, instance_id)`` — exchanged once per
+    connection, both directions, before anything else.  Version or
+    instance mismatch aborts the connection (:class:`WireError`).
+``MSG``
+    ``(MSG, link_seq, src, dst, tag, payload, round)`` — one protocol
+    :class:`~repro.system.messages.Message`.  ``link_seq`` is the
+    per-link monotonic sequence number used for receiver-side
+    deduplication across reconnects.
+``ROUND``
+    ``(ROUND, link_seq, round, decided)`` — synchronous round barrier
+    marker: the sender finished emitting its round-``round`` traffic on
+    this link (per-link FIFO makes the marker a happens-after fence).
+``DECIDED``
+    ``(DECIDED, link_seq, node_id)`` — asynchronous termination marker.
+
+Payloads go through :func:`repro.system.messages.defensive_copy` before
+encoding so a sender mutating a queued object can never corrupt an
+in-flight frame, and rely on the XPT002 lint contract (payloads are
+plain picklable data — no lambdas, processes, contexts, or RNGs).
+Pickle protocol 4 matches :func:`~repro.system.messages.canonical_bytes`.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any, Optional
+
+from ..messages import ALL, Message, defensive_copy
+
+__all__ = [
+    "DECIDED",
+    "HELLO",
+    "MAX_FRAME_BYTES",
+    "MSG",
+    "ROUND",
+    "WIRE_VERSION",
+    "WireError",
+    "check_hello",
+    "decode_body",
+    "decode_message",
+    "encode_decided",
+    "encode_hello",
+    "encode_message",
+    "encode_record",
+    "encode_round",
+    "frame",
+    "is_atomic",
+    "read_frames",
+]
+
+#: Protocol version carried in every HELLO; bumped on any frame change.
+WIRE_VERSION = 1
+
+#: Upper bound on one frame body — a corrupt length prefix must not make
+#: the receiver allocate gigabytes.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LEN = struct.Struct("!I")
+
+HELLO = "hello"
+MSG = "msg"
+ROUND = "round"
+DECIDED = "decided"
+
+_RECORD_TYPES = frozenset({HELLO, MSG, ROUND, DECIDED})
+
+
+class WireError(ValueError):
+    """Malformed frame, oversized frame, or handshake mismatch."""
+
+
+# --------------------------------------------------------------- encoding
+
+
+def encode_record(record: tuple) -> bytes:
+    """Frame one record: length prefix + pickled body."""
+    body = pickle.dumps(record, protocol=4)
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireError(
+            f"frame body of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap"
+        )
+    return _LEN.pack(len(body)) + body
+
+
+def encode_hello(node_id: int, instance: str, version: int = WIRE_VERSION) -> bytes:
+    return encode_record((HELLO, int(node_id), int(version), str(instance)))
+
+
+def encode_message(msg: Message, link_seq: int) -> bytes:
+    """Encode one protocol message; the payload is defensively copied."""
+    return encode_record(
+        (
+            MSG,
+            int(link_seq),
+            int(msg.src),
+            int(msg.dst),
+            str(msg.tag),
+            defensive_copy(msg.payload),
+            msg.round,
+        )
+    )
+
+
+def encode_round(link_seq: int, round: int, decided: bool) -> bytes:
+    return encode_record((ROUND, int(link_seq), int(round), bool(decided)))
+
+
+def encode_decided(link_seq: int, node_id: int) -> bytes:
+    return encode_record((DECIDED, int(link_seq), int(node_id)))
+
+
+def frame(body: bytes) -> bytes:
+    """Attach the length prefix to an already-pickled body (tests)."""
+    return _LEN.pack(len(body)) + body
+
+
+# --------------------------------------------------------------- decoding
+
+
+def decode_body(body: bytes) -> tuple:
+    """Unpickle and structurally validate one frame body."""
+    try:
+        record = pickle.loads(body)
+    except Exception as exc:
+        raise WireError(f"undecodable frame body: {exc}") from exc
+    if not isinstance(record, tuple) or not record:
+        raise WireError(f"frame body is not a record tuple: {record!r}")
+    kind = record[0]
+    if kind not in _RECORD_TYPES:
+        raise WireError(f"unknown record type {kind!r}")
+    if kind == HELLO and len(record) != 4:
+        raise WireError(f"malformed HELLO record: {record!r}")
+    if kind == MSG and len(record) != 7:
+        raise WireError(f"malformed MSG record: {record!r}")
+    if kind == ROUND and len(record) != 4:
+        raise WireError(f"malformed ROUND record: {record!r}")
+    if kind == DECIDED and len(record) != 3:
+        raise WireError(f"malformed DECIDED record: {record!r}")
+    return record
+
+
+def decode_message(record: tuple) -> tuple[int, Message]:
+    """``(link_seq, Message)`` from a decoded MSG record."""
+    _, link_seq, src, dst, tag, payload, round_ = record
+    return int(link_seq), Message(
+        int(src), int(dst), str(tag), payload, round=round_
+    )
+
+
+def check_hello(
+    record: tuple,
+    *,
+    instance: str,
+    expected_id: Optional[int] = None,
+) -> int:
+    """Validate a decoded HELLO; returns the peer's node id.
+
+    Raises :class:`WireError` on version mismatch, instance mismatch, or
+    (when ``expected_id`` is given) an unexpected peer identity — the
+    connection must be dropped in every case.
+    """
+    _, node_id, version, peer_instance = record
+    if int(version) != WIRE_VERSION:
+        raise WireError(
+            f"wire version mismatch: peer speaks {version}, "
+            f"we speak {WIRE_VERSION}"
+        )
+    if str(peer_instance) != instance:
+        raise WireError(
+            f"instance mismatch: peer is running {peer_instance!r}, "
+            f"we are running {instance!r}"
+        )
+    if expected_id is not None and int(node_id) != int(expected_id):
+        raise WireError(
+            f"peer identified as node {node_id}, expected {expected_id}"
+        )
+    return int(node_id)
+
+
+def is_atomic(msg: Message) -> bool:
+    """True for channel-level broadcast envelopes (``dst == ALL``)."""
+    return msg.dst == ALL
+
+
+async def read_frames(reader: Any) -> Any:
+    """Async generator of decoded records from an ``asyncio.StreamReader``.
+
+    Terminates cleanly on EOF or connection loss (a truncated trailing
+    frame counts as connection loss — the sender will retransmit it
+    after reconnecting); raises :class:`WireError` on oversized frames.
+    """
+    while True:
+        try:
+            head = await reader.readexactly(_LEN.size)
+        except (EOFError, ConnectionError):
+            return
+        (length,) = _LEN.unpack(head)
+        if length > MAX_FRAME_BYTES:
+            raise WireError(
+                f"announced frame of {length} bytes exceeds the "
+                f"{MAX_FRAME_BYTES}-byte cap"
+            )
+        try:
+            body = await reader.readexactly(length)
+        except (EOFError, ConnectionError):
+            return  # body truncated by connection loss: sender retransmits
+        yield decode_body(body)

@@ -24,7 +24,7 @@ def run_recorders(n, f, inputs, adversary=None, transport="eig", seed=0):
     rng = np.random.default_rng(seed)
     scheme = SignatureScheme(n, rng) if transport == "dolev-strong" else None
     procs = [
-        Recorder(n, f, pid, inputs[pid], transport=transport, scheme=scheme)
+        Recorder(n, f, pid, inputs[pid], broadcast=transport, scheme=scheme)
         for pid in range(n)
     ]
     adversary = adversary or Adversary.none()
@@ -77,11 +77,11 @@ class TestBroadcastAll:
 
     def test_unknown_transport_rejected(self):
         with pytest.raises(ValueError):
-            Recorder(4, 1, 0, np.zeros(2), transport="pigeon")
+            Recorder(4, 1, 0, np.zeros(2), broadcast="pigeon")
 
     def test_dolev_strong_requires_scheme(self):
         with pytest.raises(ValueError):
-            Recorder(4, 1, 0, np.zeros(2), transport="dolev-strong")
+            Recorder(4, 1, 0, np.zeros(2), broadcast="dolev-strong")
 
     def test_om_requires_3f_plus_1(self):
         with pytest.raises(ValueError):

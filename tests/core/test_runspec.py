@@ -100,6 +100,28 @@ class TestRunSpecValidation:
         assert pinned.resolved_inputs().shape == (4, 2)
         assert (pinned.n, pinned.d) == (4, 2)
 
+    def test_broadcast_validation(self):
+        spec = RunSpec(algorithm="algo", n=4, d=2, broadcast="dolev-strong")
+        assert spec.broadcast == "dolev-strong"
+        with pytest.raises(ValueError, match="unknown broadcast"):
+            RunSpec(algorithm="algo", n=4, d=2, broadcast="smoke-signals")
+
+    def test_transport_validation(self):
+        for name in ("sim", "live-tcp", "live-uds"):
+            assert RunSpec(algorithm="algo", n=4, d=2,
+                           transport=name).transport == name
+        with pytest.raises(ValueError, match="unknown transport"):
+            RunSpec(algorithm="algo", n=4, d=2, transport="carrier-pigeon")
+
+    def test_transport_rejects_legacy_broadcast_values(self):
+        # The knob that used to be called ``transport`` selected the
+        # broadcast primitive; passing one of those values to the new
+        # knob must fail loudly with migration guidance, not silently
+        # pick a backend.
+        for legacy in ("eig", "dolev-strong", "atomic"):
+            with pytest.raises(ValueError, match="renamed"):
+                RunSpec(algorithm="algo", n=4, d=2, transport=legacy)
+
     def test_describe_is_plain_data(self, rng):
         spec = RunSpec(algorithm="algo", inputs=rng.normal(size=(4, 2)),
                        adversary=Adversary(faulty=[3]),
@@ -158,6 +180,16 @@ class TestShimEquivalence:
                                seed=6)
         spec = run(RunSpec(algorithm="averaging", inputs=inputs, f=1,
                            adversary=adv, epsilon=5e-2, seed=6))
+        assert outcomes_equal(legacy, spec)
+
+    def test_shim_transport_kwarg_still_selects_broadcast(self, rng):
+        # The legacy entry points keep their ``transport=`` keyword with
+        # its historical meaning (broadcast primitive) so existing
+        # callers stay bit-identical through the knob rename.
+        inputs = rng.normal(size=(4, 2))
+        legacy = run_exact_bvc(inputs, f=1, transport="dolev-strong", seed=8)
+        spec = run(RunSpec(algorithm="exact", inputs=inputs, f=1,
+                           broadcast="dolev-strong", seed=8))
         assert outcomes_equal(legacy, spec)
 
     def test_shims_carry_deprecation_note(self):

@@ -1,0 +1,1 @@
+"""Tests for the transport abstraction: wire protocol, links, backends."""
