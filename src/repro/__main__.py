@@ -520,6 +520,144 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis.timeline import (
+        cone_json,
+        render_dot,
+        render_explanation,
+        render_timeline,
+    )
+    from .obs.export import dump_jsonl, header_record
+    from .obs.fleet import (
+        aggregate_metrics,
+        discover_trails,
+        fleet_probes,
+        load_trails,
+        stitch,
+    )
+
+    paths = list(args.trails)
+    if args.trail_dir:
+        paths.extend(discover_trails(args.trail_dir))
+    if not paths:
+        return _fail(
+            "fleet needs per-node trails: positional JSONL files and/or "
+            "--trail-dir (written by 'repro launch --trace-dir' or "
+            "'repro node --trace')"
+        )
+    try:
+        trails = load_trails(sorted(set(paths)))
+    except (OSError, ValueError) as exc:
+        return _fail(f"cannot load trails: {exc}")
+
+    if args.action == "metrics":
+        from .obs.prom import render_metrics_snapshot
+
+        text = render_metrics_snapshot(aggregate_metrics(trails))
+        if args.out:
+            try:
+                with open(args.out, "w", encoding="utf-8") as fh:
+                    fh.write(text)
+            except OSError as exc:
+                return _fail(f"cannot write {args.out!r}: {exc}")
+            if not args.quiet:
+                print(f"wrote {args.out}")
+        else:
+            print(text, end="")
+        return 0
+
+    try:
+        graph, report = stitch(trails)
+    except (KeyError, ValueError) as exc:
+        return _fail(f"cannot stitch trails: {exc}")
+
+    if not args.quiet:
+        print(
+            f"stitched {len(report.nodes)} trails (nodes "
+            f"{list(report.nodes)}): {report.events} events, "
+            f"{report.stitched_edges} cross-node edges, "
+            f"{report.orphan_delivers} orphan delivers, "
+            f"{report.duplicate_delivers_dropped} duplicates dropped"
+        )
+
+    if args.action == "stitch":
+        if args.out:
+            records = [header_record()] + list(graph.events)
+            try:
+                with open(args.out, "w", encoding="utf-8") as fh:
+                    lines = dump_jsonl(records, fh)
+            except OSError as exc:
+                return _fail(f"cannot write {args.out!r}: {exc}")
+            if not args.quiet:
+                print(f"wrote {args.out} ({lines} lines)")
+        if not report.complete:
+            print(
+                f"INCOMPLETE: {report.orphan_delivers} delivers have no "
+                "matching send (missing or truncated trails?)",
+                file=sys.stderr,
+            )
+        return 0 if report.complete else 1
+
+    if args.action == "probes":
+        try:
+            reports, context = fleet_probes(trails, graph, inject=args.inject)
+        except ValueError as exc:
+            return _fail(str(exc))
+        for probe in reports:
+            status = "ok" if probe.ok else "VIOLATED"
+            print(f"probe {probe.name}: {status} ({probe.checks} checks, "
+                  f"{len(probe.violations)} violations)")
+            for violation in probe.violations:
+                print(f"  - {violation.detail}")
+        ok = all(probe.ok for probe in reports)
+        if not args.quiet:
+            inject = f" inject={args.inject}" if args.inject else ""
+            print(f"fleet probes on {context['algorithm']} "
+                  f"n={context['n']} d={context['d']} f={context['f']}"
+                  f"{inject} -> " + ("OK" if ok else "FAILED"))
+        if args.out:
+            payload = {
+                "stitch": report.to_dict(),
+                "probes": [probe.to_dict() for probe in reports],
+                "context": context,
+                "ok": ok,
+            }
+            try:
+                with open(args.out, "w", encoding="utf-8") as fh:
+                    json.dump(payload, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+            except OSError as exc:
+                return _fail(f"cannot write {args.out!r}: {exc}")
+            if not args.quiet:
+                print(f"wrote {args.out}")
+        return 0 if ok else 1
+
+    # explain: cross-node decision cone over the merged graph
+    decided = graph.decided_pids()
+    pid = args.pid if args.pid is not None else (decided[0] if decided else 0)
+    if args.format == "timeline":
+        rendered = render_timeline(graph)
+    elif args.format == "json":
+        rendered = json.dumps(cone_json(graph, pid), indent=2, sort_keys=True)
+    elif args.format == "dot":
+        rendered = render_dot(graph, pid=pid)
+    else:
+        rendered = render_explanation(graph, pid)
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(rendered + "\n")
+        except OSError as exc:
+            return _fail(f"cannot write {args.out!r}: {exc}")
+        if not args.quiet:
+            print(f"wrote {args.out}")
+    else:
+        print(rendered)
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
 
@@ -1092,7 +1230,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="keep serving /metrics this many seconds after "
                         "the decision line is printed")
     p.add_argument("--trace", default=None,
-                   help="export this node's span/metrics trail as JSONL")
+                   help="export this node's trail (spans, metrics, causal "
+                        "events) as JSONL; enables causal tracing")
     p.set_defaults(func=_cmd_node)
 
     p = sub.add_parser(
@@ -1121,15 +1260,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeout", type=float, default=120.0,
                    help="whole-cluster wall-clock budget in seconds")
     p.add_argument("--metrics-port", type=int, default=None,
-                   help="node 0 serves /metrics on this port")
+                   help="base port: node PID serves /metrics on "
+                        "metrics-port + PID (every node)")
     p.add_argument("--linger", type=float, default=0.0,
-                   help="node 0 keeps serving /metrics this long after "
+                   help="nodes keep serving /metrics this long after "
                         "deciding")
     p.add_argument("--trace-dir", default=None,
-                   help="collect one JSONL trace per node in this directory")
+                   help="collect one causal-traced JSONL trail per node "
+                        "in this directory (enables the fleet probe "
+                        "block in the report)")
     p.add_argument("--out", default=None,
                    help="write the full launch report as JSON")
     p.set_defaults(func=_cmd_launch)
+
+    p = sub.add_parser(
+        "fleet", parents=[common],
+        help="stitch per-node live trails into one causal graph; "
+             "post-hoc probes, explanations, aggregated metrics",
+    )
+    p.add_argument("action",
+                   choices=["stitch", "probes", "explain", "metrics"],
+                   help="stitch: merge trails (JSONL out); probes: "
+                        "post-hoc invariant verdicts; explain: cross-"
+                        "node decision cone; metrics: aggregated "
+                        "Prometheus exposition")
+    p.add_argument("trails", nargs="*",
+                   help="per-node trail JSONL files")
+    p.add_argument("--trail-dir", default=None,
+                   help="directory of *.jsonl trails (repro launch "
+                        "--trace-dir output)")
+    p.add_argument("--pid", type=int, default=None,
+                   help="explain: node whose decision to explain "
+                        "(default: lowest decided)")
+    p.add_argument("--format", default="explain",
+                   choices=["explain", "timeline", "json", "dot"],
+                   help="explain rendering (default explain)")
+    p.add_argument("--inject", default=None,
+                   choices=["split-brain", "stale-echo"],
+                   help="probes: perturb the logged decisions to "
+                        "demonstrate probe sensitivity")
+    p.add_argument("--out", default=None,
+                   help="write the action's artifact (stitched JSONL, "
+                        "probe report JSON, rendering, or exposition)")
+    p.set_defaults(func=_cmd_fleet)
 
     p = sub.add_parser(
         "lint", parents=[common],

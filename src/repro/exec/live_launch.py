@@ -332,10 +332,18 @@ def run_node(
     still reach a node whose run finished first).  ``emit`` is called
     with the decision record *before* the linger window — the launcher
     reads decisions from stdout while slower nodes keep running.
-    ``trace_path`` exports the node's span/metrics trail as JSONL.
+
+    ``trace_path`` exports the node's trail as JSONL *with causal
+    tracing on*: a per-process :class:`~repro.obs.causal.CausalCollector`
+    stamps every send/deliver (the stamps ride the version-2 wire frames
+    to peers), and the trail carries ``transport.node.topology`` /
+    ``transport.node.decision`` events so a directory of trails is
+    self-contained input for :mod:`repro.obs.fleet` stitching and
+    post-hoc probes.
     """
     import asyncio
 
+    from ..obs.causal import CausalCollector, use_causal_collector
     from ..obs.export import write_jsonl
     from ..obs.prom import serve_metrics
     from ..obs.tracer import Tracer, use_tracer
@@ -372,8 +380,17 @@ def run_node(
             await node.shutdown()
 
     tracer = Tracer(level="info")
+    collector = CausalCollector(int(doc["n"])) if trace_path else None
+    tracer.event(
+        "transport.node.topology",
+        pid=pid, instance=doc["instance"], algorithm=doc["algorithm"],
+        n=int(doc["n"]), d=int(doc["d"]), f=int(doc["f"]),
+        seed=int(doc["seed"]), input_scale=float(doc["input_scale"]),
+        epsilon=float(doc["epsilon"]), p=doc["p"], k=int(doc["k"]),
+        delta=float(doc["delta"]), kind=doc["kind"],
+    )
     try:
-        with use_tracer(tracer):
+        with use_tracer(tracer), use_causal_collector(collector):
             with tracer.span(
                 "transport.node", pid=pid, instance=doc["instance"]
             ):
@@ -381,7 +398,16 @@ def run_node(
     finally:
         record = _node_record(doc, pid, node)
         if trace_path:
+            decision = record["decision"]
+            delta_used = getattr(node.process, "delta_used", None)
+            tracer.event(
+                "transport.node.decision",
+                pid=pid, decided=record["decided"], decision=decision,
+                rounds=record["rounds"], completed=record["completed"],
+                delta_used=None if delta_used is None else float(delta_used),
+            )
             write_jsonl(trace_path, tracer, node._result().metrics,
+                        collector=collector,
                         run_id=f"{doc['instance']}-n{pid}")
         if emit is not None:
             emit(record)
@@ -404,7 +430,7 @@ def _node_record(doc: dict[str, Any], pid: int, node: LiveNode) -> dict[str, Any
     live = {
         name: int(metric["value"])
         for name, metric in node._result().metrics.snapshot().items()
-        if name.startswith("net.live.")
+        if name.startswith("net.live.") and metric.get("type") == "counter"
     }
     return {
         "schema": "repro.transport.decision/1",
@@ -461,10 +487,17 @@ def launch_local(
     """Spawn an ``n``-subprocess cluster; collect and judge the decisions.
 
     Returns a launch report.  ``ok`` holds when every node decided and
-    completed, and the decisions agree: bitwise (to solver tolerance) for
-    the exact algorithms, within ``epsilon`` for the approximate ones.
-    ``metrics_port``/``linger`` apply to node 0 only (the conventional
-    scrape target); ``trace_dir`` collects one JSONL trail per node.
+    completed, the decisions agree — bitwise (to solver tolerance) for
+    the exact algorithms, within ``epsilon`` for the approximate ones —
+    and, when trails were collected, the stitched fleet evidence is
+    complete and every post-hoc probe is clean.
+
+    ``metrics_port`` is a *base* port: node ``pid`` serves ``/metrics``
+    on ``metrics_port + pid`` (every node, not just node 0), and the
+    report records each node's scrape address under
+    ``metrics_addresses``.  ``trace_dir`` collects one causal-traced
+    JSONL trail per node and folds a ``fleet`` block (stitch report +
+    probe verdicts) into the launch report.
     """
     owned_tmp: Optional[tempfile.TemporaryDirectory] = None
     if workdir is None:
@@ -485,14 +518,18 @@ def launch_local(
         env["PYTHONPATH"] = os.pathsep.join(
             [src_root] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
         )
+        metrics_addresses: dict[str, str] = {}
         procs: list[subprocess.Popen[str]] = []
         for pid in range(n):
             cmd = [python, "-m", "repro", "node",
                    "--topology", topology_path, "--id", str(pid)]
-            if pid == 0 and metrics_port is not None:
-                cmd += ["--metrics-port", str(metrics_port)]
+            if metrics_port is not None:
+                cmd += ["--metrics-port", str(metrics_port + pid)]
                 if linger > 0:
                     cmd += ["--linger", str(linger)]
+                metrics_addresses[str(pid)] = (
+                    f"http://127.0.0.1:{metrics_port + pid}/metrics"
+                )
             if trace_dir:
                 os.makedirs(trace_dir, exist_ok=True)
                 cmd += ["--trace",
@@ -542,11 +579,13 @@ def launch_local(
         spread = _spread(decisions) if len(decisions) >= 2 else 0.0
         exactish = algorithm in ("exact", "algo", "krelaxed", "scalar")
         tolerance = 1e-9 if exactish else float(epsilon)
+        fleet_block = _fleet_block(trace_dir) if trace_dir else None
         ok = (
             not errors
             and len(decided) == n
             and all(r.get("completed") for r in good)
             and spread <= tolerance
+            and (fleet_block is None or fleet_block.get("ok", False))
         )
         return {
             "schema": "repro.transport.launch-report/1",
@@ -562,9 +601,42 @@ def launch_local(
             "agreement_spread": spread,
             "agreement_tolerance": tolerance,
             "errors": errors,
+            "metrics_addresses": metrics_addresses,
+            "fleet": fleet_block,
             "nodes": records,
             "topology": doc,
         }
     finally:
         if owned_tmp is not None:
             owned_tmp.cleanup()
+
+
+def _fleet_block(trace_dir: str) -> dict[str, Any]:
+    """Stitch the collected trails and run the post-hoc probes.
+
+    ``ok`` holds when the merged graph is complete (every remote deliver
+    found its send) and no probe recorded a violation.  A stitching or
+    probe failure is reported, never raised — the launch report must
+    still be written so the cluster outcome stays inspectable.
+    """
+    from ..obs.fleet import (
+        discover_trails,
+        fleet_probes,
+        load_trails,
+        stitch,
+    )
+
+    try:
+        trails = load_trails(discover_trails(trace_dir))
+        graph, stitch_report = stitch(trails)
+        reports, context = fleet_probes(trails, graph)
+        probes_ok = all(report.ok for report in reports)
+        return {
+            "ok": bool(stitch_report.complete and probes_ok),
+            "stitch": stitch_report.to_dict(),
+            "probes": [report.to_dict() for report in reports],
+            "probes_ok": probes_ok,
+            "context": context,
+        }
+    except (OSError, ValueError) as exc:
+        return {"ok": False, "error": str(exc)}

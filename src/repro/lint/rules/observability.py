@@ -15,7 +15,9 @@ Rules
 * ``OBS001`` — literal metric/span/event names must be dotted lowercase
   with at least two segments, and duration/size histograms
   (``observe``/``histogram``) must end in a unit suffix (``.seconds``,
-  ``.bytes``) so the roll-up's ``<name>.total`` stays unambiguous.
+  ``.bytes``, or ``_us`` for microsecond latencies such as
+  ``net.live.queue_wait_us``) so the roll-up's ``<name>.total`` stays
+  unambiguous.
   Perf-profiler phases (``perf_phase``/``phase``) are span-like names in
   the same namespace: dotted lowercase required, no unit suffix (their
   histograms are rendered under an explicit ``_seconds`` family name by
@@ -55,7 +57,7 @@ _NAMED_CALLS = frozenset(
 #: (``timed`` is exempt — it appends ``.seconds`` itself.)
 _UNIT_CALLS = frozenset({"observe", "histogram"})
 
-_UNIT_SUFFIXES = (".seconds", ".bytes")
+_UNIT_SUFFIXES = (".seconds", ".bytes", "_us")
 
 _NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
 

@@ -151,6 +151,17 @@ class CausalCollector:
             return None
         return queue.popleft()
 
+    def stamp(self, eid: int) -> tuple[int, int, tuple[int, ...]]:
+        """The ``(eid, lamport, clock)`` wire stamp of a recorded event.
+
+        The live transport attaches this to outgoing MSG frames (wire
+        version 2) so the receiving node's collector can merge the
+        sender's clocks even though the two collectors live in different
+        OS processes.
+        """
+        ev = self.events[eid]
+        return (ev.eid, ev.lamport, ev.clock)
+
     def on_deliver(
         self,
         dst: int,
@@ -190,6 +201,50 @@ class CausalCollector:
             eid=eid, kind="deliver", pid=dst, lamport=self._lamport[dst],
             clock=tuple(vc), time=time, src=src, dst=dst, tag=tag,
             cause=cause, fields=dict(fields) if fields else {},
+        ))
+
+    def on_deliver_remote(
+        self,
+        dst: int,
+        origin: int,
+        origin_eid: int,
+        lamport: int,
+        clock: tuple[int, ...],
+        *,
+        src: Optional[int] = None,
+        tag: Optional[str] = None,
+        time: Optional[int] = None,
+        **fields: Any,
+    ) -> int:
+        """Stamp a delivery whose send event lives in *another process's*
+        collector (a wire-stamped frame from a remote node).
+
+        The carried Lamport timestamp and vector clock are merged exactly
+        as :meth:`on_deliver` merges a local send's, but ``cause`` stays
+        None — the matching send eid belongs to the origin node's event
+        numbering, not ours.  The ``origin`` pair is recorded in
+        ``fields["origin"]`` so post-hoc trail stitching
+        (:mod:`repro.obs.fleet`) can reconnect the cross-process
+        send→deliver edge.
+        """
+        if time is None:
+            time = self.now
+        self._ensure(dst)
+        self._ensure(len(clock) - 1)
+        vc = self._clock[dst]
+        for i, v in enumerate(clock):
+            if v > vc[i]:
+                vc[i] = v
+        self._lamport[dst] = max(self._lamport[dst], int(lamport)) + 1
+        vc = self._clock[dst]
+        vc[dst] += 1
+        eid = len(self.events)
+        merged = dict(fields) if fields else {}
+        merged["origin"] = [int(origin), int(origin_eid)]
+        return self._record(CausalEvent(
+            eid=eid, kind="deliver", pid=dst, lamport=self._lamport[dst],
+            clock=tuple(vc), time=time, src=src, dst=dst, tag=tag,
+            cause=None, fields=merged,
         ))
 
     def on_mark(
@@ -304,6 +359,15 @@ class NullCausalCollector:
         return None
 
     def on_deliver(self, dst: int, send_eid: Optional[int], **kw: Any) -> Optional[int]:
+        return None
+
+    def on_deliver_remote(
+        self, dst: int, origin: int, origin_eid: int,
+        lamport: int, clock: Any, **kw: Any,
+    ) -> Optional[int]:
+        return None
+
+    def stamp(self, eid: int) -> None:
         return None
 
     def on_mark(self, kind: str, pid: int, **kw: Any) -> Optional[int]:

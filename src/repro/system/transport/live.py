@@ -26,12 +26,22 @@ Requesting an adversarial live run raises
 
 Both backends surface the same ``net.*`` metrics; the live one adds
 ``net.live.*`` counters (handshakes, reconnects, retransmits, dedup
-drops, backpressure waits).
+drops, backpressure waits, bytes, wire vs effective frame deliveries)
+plus a send-queue wait histogram and depth-peak gauge.
+
+When a :class:`~repro.obs.causal.CausalCollector` is installed
+(ambient, per process), every node stamps its sends and deliveries: the
+send event's ``(eid, lamport, clock)`` rides on the version-2 MSG frame
+and the receiver merges it via ``on_deliver_remote``, so N per-node
+trails stitch into one cross-process happens-before graph
+(:mod:`repro.obs.fleet`).  With the default null collector all of this
+is skipped — the hot path only checks ``collector.enabled``.
 """
 
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import os
 import struct
 import tempfile
@@ -40,17 +50,18 @@ from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
+from ...obs.causal import get_causal_collector
 from ...obs.metrics import MetricsRegistry, active_registry
 from ...obs.probes import Probe, ProbeView
 from ..adversary import Adversary
-from ..messages import ALL, Message
+from ..messages import ALL, Message, canonical_bytes
 from ..network import NetworkStats
 from ..process import AsyncProcess, Context, SyncProcess
 from ..scheduler import RunResult, _fold_network_stats
 from ..topology import Topology
 from . import wire
 from .base import Transport, TransportError
-from .peer import PeerLink
+from .peer import LinkStats, PeerLink
 
 __all__ = ["LiveNode", "LiveTransport", "NodeAddress", "node_seeds"]
 
@@ -157,16 +168,29 @@ class LiveNode:
         self.rounds_done = 0
         self.completed = False
         self.dupes_dropped = 0
+        #: Frames arriving on the wire, *including* retransmitted
+        #: duplicates — vs ``frames_received``, which counts only the
+        #: effective (post-dedup) deliveries.  Invariant:
+        #: ``wire_frames_received == frames_received + dupes_dropped``.
+        self.wire_frames_received = 0
+        self.frames_received = 0
+        #: Ambient causal collector, re-captured at run() start.  The
+        #: null default keeps every stamp site a single attribute check.
+        self.collector = get_causal_collector()
 
         self._links: dict[int, PeerLink] = {}
         self._server: Any = None
         self._server_conns: list[Any] = []
         self._serve_tasks: list[Any] = []
         # Receive state, guarded by _cond (single event loop, no threads).
+        # Message buffers hold (Message, meta) pairs where meta describes
+        # the delivery's causal provenance: ("local", send_eid) for
+        # self-deliveries, ("remote", (origin_eid, lamport, clock)) for
+        # stamped frames, None for unstamped (v1) frames or tracing off.
         self._cond: asyncio.Condition = asyncio.Condition()
         self._last_seq: dict[int, int] = {}
-        self._pending_msgs: dict[int, list[Message]] = {}
-        self._round_msgs: dict[int, dict[int, list[Message]]] = {}
+        self._pending_msgs: dict[int, list[tuple[Message, Any]]] = {}
+        self._round_msgs: dict[int, dict[int, list[tuple[Message, Any]]]] = {}
         self._peer_round: dict[int, int] = {}
         self._peer_decided: dict[int, bool] = {}
         self._inq: asyncio.Queue[tuple[str, Any]] = asyncio.Queue()
@@ -256,17 +280,21 @@ class LiveNode:
             writer.close()
 
     async def _on_record(self, peer_id: int, record: tuple) -> None:
+        self.wire_frames_received += 1
         seq = int(record[1])
         if seq <= self._last_seq.get(peer_id, -1):
             self.dupes_dropped += 1  # retransmit after reconnect
             return
         self._last_seq[peer_id] = seq
+        self.frames_received += 1
         kind = record[0]
         if kind == wire.MSG:
             _, msg = wire.decode_message(record)
+            stamp = wire.message_stamp(record)
+            meta = ("remote", stamp) if stamp is not None else None
             async with self._cond:
-                self._pending_msgs.setdefault(peer_id, []).append(msg)
-            await self._inq.put(("msg", msg))
+                self._pending_msgs.setdefault(peer_id, []).append((msg, meta))
+            await self._inq.put(("msg", (msg, meta)))
         elif kind == wire.ROUND:
             _, _, round_, decided = record
             async with self._cond:
@@ -286,27 +314,47 @@ class LiveNode:
     async def _flush_outbox(self, round_: Optional[int] = None) -> None:
         msgs = self.ctx.outbox
         self.ctx.outbox = []
+        collector = self.collector
         for msg in msgs:
             self.stats.record_send(msg)
+            stamp = None
+            send_eid: Optional[int] = None
+            if collector.enabled:
+                # One send event per message, like the simulator — an
+                # atomic broadcast fans its single stamp to every link.
+                # The payload digest lets the post-hoc broadcast-
+                # integrity probe compare what each receiver was sent.
+                digest = hashlib.sha256(
+                    canonical_bytes(msg.payload)
+                ).hexdigest()[:16]
+                send_eid = collector.on_send(
+                    msg.src, msg.dst, msg.tag,
+                    time=round_, seq=msg.seq, round=msg.round, digest=digest,
+                )
+                stamp = collector.stamp(send_eid)
             if msg.dst == ALL:
                 for peer_id in sorted(self._links):
-                    await self._links[peer_id].send_message(msg)
-                await self._deliver_local(msg, round_)
+                    await self._links[peer_id].send_message(msg, stamp=stamp)
+                await self._deliver_local(msg, round_, send_eid)
             elif msg.dst == self.node_id:
-                await self._deliver_local(msg, round_)
+                await self._deliver_local(msg, round_, send_eid)
             else:
-                await self._links[msg.dst].send_message(msg)
+                await self._links[msg.dst].send_message(msg, stamp=stamp)
 
-    async def _deliver_local(self, msg: Message, round_: Optional[int]) -> None:
+    async def _deliver_local(
+        self, msg: Message, round_: Optional[int], send_eid: Optional[int]
+    ) -> None:
+        meta = ("local", send_eid) if send_eid is not None else None
         if round_ is not None:
             bucket = self._round_msgs.setdefault(round_, {})
-            bucket.setdefault(self.node_id, []).append(msg)
+            bucket.setdefault(self.node_id, []).append((msg, meta))
         else:
-            await self._inq.put(("msg", msg))
+            await self._inq.put(("msg", (msg, meta)))
 
     # ------------------------------------------------------------- driving
     async def run(self) -> RunResult:
         """Drive the process to decision; returns this node's RunResult."""
+        self.collector = get_causal_collector()
         for peer_id in sorted(self._links):
             self._links[peer_id].start()
         try:
@@ -359,19 +407,42 @@ class LiveNode:
                 )
             inbox = {}
             for src in sorted(arrived):
-                inbox[src] = [
-                    (m.tag, m.payload)
-                    for m in self._deliver_stats(arrived[src])
-                ]
+                entries = []
+                for msg, meta in arrived[src]:
+                    self._deliver_one(msg, meta, r)
+                    entries.append((msg.tag, msg.payload))
+                inbox[src] = entries
             if all_decided:
                 self.rounds_done = r + 1
                 self.completed = True
                 return
 
-    def _deliver_stats(self, msgs: list[Message]) -> list[Message]:
-        for msg in msgs:
-            self.stats.record_delivery(msg)
-        return msgs
+    def _deliver_one(
+        self, msg: Message, meta: Any, time_: Optional[int]
+    ) -> None:
+        """Count one effective delivery and stamp its causal event.
+
+        Deliveries are stamped at *consumption* (when the message enters
+        the process's inbox), so retransmitted duplicates — dropped in
+        ``_on_record`` — never produce a deliver event or double-count
+        the delivery stats.
+        """
+        self.stats.record_delivery(msg)
+        collector = self.collector
+        if not collector.enabled:
+            return
+        if meta is None:
+            # Unstamped frame (v1 peer, or sender traced nothing): keep
+            # program order faithful with a cause-less deliver event.
+            collector.on_deliver(self.node_id, None, time=time_)
+        elif meta[0] == "local":
+            collector.on_deliver(self.node_id, meta[1], time=time_)
+        else:
+            origin_eid, lamport, clock = meta[1]
+            collector.on_deliver_remote(
+                self.node_id, msg.src, origin_eid, lamport, clock,
+                src=msg.src, tag=msg.tag, time=time_,
+            )
 
     async def _run_async(self) -> None:
         proc = self.process
@@ -414,10 +485,10 @@ class LiveNode:
                 continue
             if kind == "decided":
                 continue
-            msg = payload
+            msg, meta = payload
             steps += 1
             self.rounds_done = steps
-            self.stats.record_delivery(msg)
+            self._deliver_one(msg, meta, steps)
             if self.ctx.halted:
                 continue
             proc.on_message(self.ctx, msg.src, msg.tag, msg.payload)
@@ -441,20 +512,28 @@ class LiveNode:
         )
 
     def _fold_live_metrics(self, registry: MetricsRegistry) -> None:
-        totals = {
-            "frames_sent": 0,
-            "retransmits": 0,
-            "reconnects": 0,
-            "handshakes": 0,
-            "backpressure_waits": 0,
-            "chaos_closes": 0,
-        }
+        totals = {name: 0 for name in LinkStats.COUNTER_FIELDS}
+        depth_peak = 0
+        wait_samples: list[float] = []
         for peer_id in sorted(self._links):
-            for name, value in self._links[peer_id].stats.as_dict().items():
+            stats = self._links[peer_id].stats
+            for name, value in stats.as_dict().items():
                 totals[name] += value
+            depth_peak = max(depth_peak, stats.queue_depth_peak)
+            wait_samples.extend(stats.queue_wait_samples)
         for name in sorted(totals):
             registry.counter(f"net.live.{name}").value = totals[name]
         registry.counter("net.live.dupes_dropped").value = self.dupes_dropped
+        registry.counter("net.live.wire_frames_received").value = (
+            self.wire_frames_received
+        )
+        registry.counter("net.live.frames_received").value = (
+            self.frames_received
+        )
+        if depth_peak:
+            registry.set_gauge("net.live.queue_depth_peak", depth_peak)
+        for sample in wait_samples:
+            registry.observe("net.live.queue_wait_us", sample * 1e6)
 
 
 class LiveTransport(Transport):
@@ -674,8 +753,21 @@ class LiveTransport(Transport):
                     + result.stats.per_tag_delivered[tag]
                 )
             for name, metric in result.metrics.snapshot().items():
-                if name.startswith("net.live."):
+                if not name.startswith("net.live."):
+                    continue
+                kind = metric.get("type")
+                if kind == "counter":
                     registry.inc(name, int(metric["value"]))
+                elif kind == "gauge" and metric.get("updates"):
+                    # Peaks max across nodes rather than summing.
+                    gauge = registry.gauge(name)
+                    if not gauge.updates or metric["value"] > gauge.value:
+                        gauge.set(metric["value"])
+                elif kind == "histogram" and metric.get("count"):
+                    # The per-node registry is in-process: merge the
+                    # exact samples, not the snapshot's summary stats.
+                    for sample in result.metrics.histogram(name).samples:
+                        registry.observe(name, sample)
         _fold_network_stats(registry, stats)
         probe_reports = ()
         if probes:

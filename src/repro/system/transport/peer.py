@@ -5,8 +5,11 @@ owns a bounded send queue and a writer task:
 
 * **Handshake** — on every (re)connect the dialer sends its HELLO
   (node id, wire version, instance id) and waits for the listener's
-  HELLO back; any mismatch permanently fails the link (a wrong-version
-  or wrong-instance peer will never become right).
+  HELLO back; the connection then runs at the *negotiated* wire version
+  (newest both sides speak — :func:`repro.system.transport.wire.negotiate`),
+  so a version-1 peer still interoperates, it just never sees causal
+  stamps.  An unsupported version or wrong instance permanently fails
+  the link (such a peer will never become right).
 * **Reconnect** — connection refusal or loss triggers capped exponential
   backoff (``delay = min(base * 2**attempt, cap)``); the attempt counter
   resets after a successful handshake.  The frame being written when the
@@ -18,9 +21,20 @@ owns a bounded send queue and a writer task:
   ``queue_limit`` frames, propagating slowness to the producing
   protocol loop instead of buffering without bound.
 
+The queue holds *records* (plain tuples), not encoded bytes: encoding
+happens at write time, once the connection's negotiated version is
+known.  Payload safety is unchanged — record builders defensively copy
+payloads at enqueue time.
+
 Timings use the event loop's monotonic clock only (never the wall
 clock), and the backoff schedule is a fixed deterministic ramp — links
 carry no randomness of their own.
+
+Beyond the six link counters, each link records transport telemetry the
+node folds into its registry: bytes written (``bytes_sent``), the
+deepest the send queue ever got (``queue_depth_peak``), and per-frame
+queue-wait times (``queue_wait_samples``, seconds from enqueue to first
+write attempt — exported as the ``net.live.queue_wait_us`` histogram).
 """
 
 from __future__ import annotations
@@ -38,16 +52,26 @@ Dialer = Callable[[], Awaitable[tuple[Any, Any]]]
 
 
 class LinkStats:
-    """Counters one link maintains (folded into the node's metrics)."""
+    """Counters and samples one link maintains.
 
-    __slots__ = (
+    The fields named in :data:`COUNTER_FIELDS` are plain monotonic
+    counters — :meth:`as_dict` exposes exactly those, and the node sums
+    them across links into ``net.live.*`` counters.  ``queue_depth_peak``
+    and ``queue_wait_samples`` are *not* counters (a peak maxes, samples
+    concatenate) and are folded explicitly.
+    """
+
+    COUNTER_FIELDS = (
         "frames_sent",
         "retransmits",
         "reconnects",
         "handshakes",
         "backpressure_waits",
         "chaos_closes",
+        "bytes_sent",
     )
+
+    __slots__ = COUNTER_FIELDS + ("queue_depth_peak", "queue_wait_samples")
 
     def __init__(self) -> None:
         self.frames_sent = 0
@@ -56,9 +80,12 @@ class LinkStats:
         self.handshakes = 0
         self.backpressure_waits = 0
         self.chaos_closes = 0
+        self.bytes_sent = 0
+        self.queue_depth_peak = 0
+        self.queue_wait_samples: list[float] = []
 
     def as_dict(self) -> dict[str, int]:
-        return {name: getattr(self, name) for name in self.__slots__}
+        return {name: getattr(self, name) for name in self.COUNTER_FIELDS}
 
 
 class PeerLink:
@@ -97,8 +124,11 @@ class PeerLink:
         #: tests (and the disconnect-survival acceptance run) flip on.
         self.chaos_close_after = chaos_close_after
         self.stats = LinkStats()
-        self._queue: asyncio.Queue[Optional[bytes]] = asyncio.Queue(
-            maxsize=self.queue_limit
+        #: The version this connection runs at, set by each handshake
+        #: (stays at our newest until a peer negotiates it down).
+        self.wire_version = wire.WIRE_VERSION
+        self._queue: asyncio.Queue[Optional[tuple[tuple, float]]] = (
+            asyncio.Queue(maxsize=self.queue_limit)
         )
         self._next_seq = 0
         self._writer_task: Optional[asyncio.Task[None]] = None
@@ -157,16 +187,18 @@ class PeerLink:
         self._next_seq += 1
         return seq
 
-    async def send_message(self, msg: Any) -> None:
-        await self._put(wire.encode_message(msg, self.next_seq()))
+    async def send_message(self, msg: Any, stamp: Optional[tuple] = None) -> None:
+        """Queue one protocol message, optionally with its causal stamp
+        (dropped automatically on connections negotiated down to v1)."""
+        await self._put(wire.message_record(msg, self.next_seq(), stamp))
 
     async def send_round(self, round: int, decided: bool) -> None:
-        await self._put(wire.encode_round(self.next_seq(), round, decided))
+        await self._put((wire.ROUND, self.next_seq(), int(round), bool(decided)))
 
     async def send_decided(self) -> None:
-        await self._put(wire.encode_decided(self.next_seq(), self.self_id))
+        await self._put((wire.DECIDED, self.next_seq(), self.self_id))
 
-    async def _put(self, frame: bytes) -> None:
+    async def _put(self, record: tuple) -> None:
         if self._failure is not None:
             raise wire.WireError(
                 f"link to node {self.peer_id} failed permanently: "
@@ -174,12 +206,18 @@ class PeerLink:
             ) from self._failure
         if self._queue.full():
             self.stats.backpressure_waits += 1
-        await self._queue.put(frame)
+        await self._queue.put(
+            (record, asyncio.get_running_loop().time())
+        )
+        depth = self._queue.qsize()
+        if depth > self.stats.queue_depth_peak:
+            self.stats.queue_depth_peak = depth
 
     # -------------------------------------------------------- writer task
     async def _writer_loop(self) -> None:
+        loop = asyncio.get_running_loop()
         attempt = 0
-        pending: Optional[bytes] = None
+        pending: Optional[tuple] = None
         frames_written = 0
         chaos_armed = self.chaos_close_after is not None
         while True:
@@ -223,15 +261,18 @@ class PeerLink:
             try:
                 while True:
                     if pending is None:
-                        frame = await self._queue.get()
-                        if frame is None:
+                        item = await self._queue.get()
+                        if item is None:
                             writer.close()
                             try:
                                 await writer.wait_closed()
                             except (ConnectionError, OSError):
                                 pass
                             return
-                        pending = frame
+                        pending, enqueued_at = item
+                        self.stats.queue_wait_samples.append(
+                            max(0.0, loop.time() - enqueued_at)
+                        )
                     else:
                         # First iteration after a reconnect: the frame in
                         # flight when the connection died goes out again.
@@ -246,9 +287,11 @@ class PeerLink:
                         self.stats.chaos_closes += 1
                         writer.close()
                         raise ConnectionResetError("chaos: forced close")
-                    writer.write(pending)
+                    frame = wire.encode_for_version(pending, self.wire_version)
+                    writer.write(frame)
                     await writer.drain()
                     self.stats.frames_sent += 1
+                    self.stats.bytes_sent += len(frame)
                     frames_written += 1
                     pending = None
             except (ConnectionError, OSError, EOFError):
@@ -260,7 +303,7 @@ class PeerLink:
                     return
 
     async def _backoff_or_closing(
-        self, attempt: int, pending: Optional[bytes]
+        self, attempt: int, pending: Optional[tuple]
     ) -> bool:
         """Back off before the next dial; True if the writer should stop.
 
@@ -304,6 +347,7 @@ class PeerLink:
         wire.check_hello(
             record, instance=self.instance, expected_id=self.peer_id
         )
+        self.wire_version = wire.negotiate(wire.hello_version(record))
 
     def _backoff(self, attempt: int) -> float:
         return min(self.backoff_base * (2.0 ** (attempt - 1)), self.backoff_cap)

@@ -11,11 +11,19 @@ record type:
 
 ``HELLO``
     ``(HELLO, node_id, wire_version, instance_id)`` — exchanged once per
-    connection, both directions, before anything else.  Version or
-    instance mismatch aborts the connection (:class:`WireError`).
+    connection, both directions, before anything else.  The version is
+    *negotiated*: each side advertises the newest version it speaks and
+    the connection runs at ``min`` of the two (:func:`negotiate`), so a
+    version-1 peer can still talk to a version-2 node.  A version
+    outside :data:`SUPPORTED_VERSIONS` — or an instance mismatch —
+    aborts the connection (:class:`WireError`).
 ``MSG``
-    ``(MSG, link_seq, src, dst, tag, payload, round)`` — one protocol
-    :class:`~repro.system.messages.Message`.  ``link_seq`` is the
+    version 1: ``(MSG, link_seq, src, dst, tag, payload, round)``;
+    version 2 appends a *causal stamp*:
+    ``(MSG, link_seq, src, dst, tag, payload, round, stamp)`` where
+    ``stamp`` is ``(origin_eid, lamport, clock)`` — the sender-local
+    event id, Lamport timestamp, and vector clock of the send event —
+    or ``None`` when causal tracing is off.  ``link_seq`` is the
     per-link monotonic sequence number used for receiver-side
     deduplication across reconnects.
 ``ROUND``
@@ -46,23 +54,33 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "MSG",
     "ROUND",
+    "SUPPORTED_VERSIONS",
     "WIRE_VERSION",
     "WireError",
     "check_hello",
     "decode_body",
     "decode_message",
     "encode_decided",
+    "encode_for_version",
     "encode_hello",
     "encode_message",
     "encode_record",
     "encode_round",
     "frame",
+    "hello_version",
     "is_atomic",
+    "message_record",
+    "message_stamp",
+    "negotiate",
     "read_frames",
 ]
 
-#: Protocol version carried in every HELLO; bumped on any frame change.
-WIRE_VERSION = 1
+#: Newest protocol version this build speaks; advertised in every HELLO.
+WIRE_VERSION = 2
+
+#: Every version this build can *run* a connection at.  Version 1 frames
+#: carry no causal stamp; version 2 MSG records append one.
+SUPPORTED_VERSIONS = (1, 2)
 
 #: Upper bound on one frame body — a corrupt length prefix must not make
 #: the receiver allocate gigabytes.
@@ -100,19 +118,36 @@ def encode_hello(node_id: int, instance: str, version: int = WIRE_VERSION) -> by
     return encode_record((HELLO, int(node_id), int(version), str(instance)))
 
 
-def encode_message(msg: Message, link_seq: int) -> bytes:
-    """Encode one protocol message; the payload is defensively copied."""
-    return encode_record(
-        (
-            MSG,
-            int(link_seq),
-            int(msg.src),
-            int(msg.dst),
-            str(msg.tag),
-            defensive_copy(msg.payload),
-            msg.round,
-        )
+def message_record(
+    msg: Message, link_seq: int, stamp: Optional[tuple] = None
+) -> tuple:
+    """The (version-2) MSG record for one protocol message.
+
+    The payload is defensively copied *here*, at enqueue time, so a
+    sender mutating a queued object can never corrupt the frame a link
+    encodes later (links encode at write time, once the connection's
+    negotiated version is known).
+    """
+    return (
+        MSG,
+        int(link_seq),
+        int(msg.src),
+        int(msg.dst),
+        str(msg.tag),
+        defensive_copy(msg.payload),
+        msg.round,
+        stamp,
     )
+
+
+def encode_message(
+    msg: Message,
+    link_seq: int,
+    stamp: Optional[tuple] = None,
+    version: int = WIRE_VERSION,
+) -> bytes:
+    """Encode one protocol message; the payload is defensively copied."""
+    return encode_for_version(message_record(msg, link_seq, stamp), version)
 
 
 def encode_round(link_seq: int, round: int, decided: bool) -> bytes:
@@ -121,6 +156,17 @@ def encode_round(link_seq: int, round: int, decided: bool) -> bytes:
 
 def encode_decided(link_seq: int, node_id: int) -> bytes:
     return encode_record((DECIDED, int(link_seq), int(node_id)))
+
+
+def encode_for_version(record: tuple, version: int) -> bytes:
+    """Encode a record at a negotiated wire version.
+
+    Only MSG records differ across versions: version 1 strips the causal
+    stamp (a v1 peer would reject the 8-tuple as malformed).
+    """
+    if record[0] == MSG and int(version) < 2 and len(record) == 8:
+        record = record[:7]
+    return encode_record(record)
 
 
 def frame(body: bytes) -> bytes:
@@ -144,7 +190,8 @@ def decode_body(body: bytes) -> tuple:
         raise WireError(f"unknown record type {kind!r}")
     if kind == HELLO and len(record) != 4:
         raise WireError(f"malformed HELLO record: {record!r}")
-    if kind == MSG and len(record) != 7:
+    if kind == MSG and len(record) not in (7, 8):
+        # 7 = version-1 frame (no stamp), 8 = version-2 frame.
         raise WireError(f"malformed MSG record: {record!r}")
     if kind == ROUND and len(record) != 4:
         raise WireError(f"malformed ROUND record: {record!r}")
@@ -154,11 +201,30 @@ def decode_body(body: bytes) -> tuple:
 
 
 def decode_message(record: tuple) -> tuple[int, Message]:
-    """``(link_seq, Message)`` from a decoded MSG record."""
-    _, link_seq, src, dst, tag, payload, round_ = record
+    """``(link_seq, Message)`` from a decoded MSG record (either version)."""
+    _, link_seq, src, dst, tag, payload, round_ = record[:7]
     return int(link_seq), Message(
         int(src), int(dst), str(tag), payload, round=round_
     )
+
+
+def message_stamp(record: tuple) -> Optional[tuple]:
+    """The ``(origin_eid, lamport, clock)`` causal stamp of a decoded MSG
+    record — None for version-1 frames and unstamped version-2 frames."""
+    if len(record) < 8 or record[7] is None:
+        return None
+    origin_eid, lamport, clock = record[7]
+    return int(origin_eid), int(lamport), tuple(int(c) for c in clock)
+
+
+def hello_version(record: tuple) -> int:
+    """The wire version a decoded HELLO advertises."""
+    return int(record[2])
+
+
+def negotiate(peer_version: int) -> int:
+    """The version a connection runs at: newest both sides speak."""
+    return min(WIRE_VERSION, int(peer_version))
 
 
 def check_hello(
@@ -169,15 +235,17 @@ def check_hello(
 ) -> int:
     """Validate a decoded HELLO; returns the peer's node id.
 
-    Raises :class:`WireError` on version mismatch, instance mismatch, or
+    A peer may advertise any member of :data:`SUPPORTED_VERSIONS` (the
+    connection then runs at :func:`negotiate` of the two).  Raises
+    :class:`WireError` on an unsupported version, instance mismatch, or
     (when ``expected_id`` is given) an unexpected peer identity — the
     connection must be dropped in every case.
     """
     _, node_id, version, peer_instance = record
-    if int(version) != WIRE_VERSION:
+    if int(version) not in SUPPORTED_VERSIONS:
         raise WireError(
             f"wire version mismatch: peer speaks {version}, "
-            f"we speak {WIRE_VERSION}"
+            f"we speak {SUPPORTED_VERSIONS}"
         )
     if str(peer_instance) != instance:
         raise WireError(

@@ -16,6 +16,7 @@ def emit(component: str) -> None:
     metrics.observe("sched.round_latency", 0.1)     # histogram, no unit
     metrics.inc("sched.sync.rounds")                # conforming
     metrics.observe("sched.round.seconds", 0.1)     # conforming
+    metrics.observe("net.live.queue_wait_us", 42.0)  # conforming (_us unit)
     metrics.inc(f"probe.{component}.violations")    # f-string: skipped
     with perf_phase("RoundPhase"):                  # phase: not dotted
         pass

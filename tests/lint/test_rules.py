@@ -180,6 +180,15 @@ class TestObservabilityNaming:
         assert rules_in(bad, "system/x.py") == ["OBS001"]
         assert rules_in(ok, "system/x.py") == []
 
+    def test_microsecond_suffix_accepted(self):
+        # _us is a unit suffix: link-latency histograms like
+        # net.live.queue_wait_us must pass without a dotted unit segment.
+        ok = (
+            "from repro.obs import metrics\n"
+            'metrics.observe("net.live.queue_wait_us", 42.0)\n'
+        )
+        assert rules_in(ok, "system/x.py") == []
+
     def test_timed_exempt_from_unit_suffix(self):
         # timed() appends .seconds itself, so the plain dotted name is right
         src = (

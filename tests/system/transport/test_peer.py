@@ -29,10 +29,14 @@ class MiniListener:
         node_id: int,
         instance: str = INSTANCE,
         validate: bool = True,
+        version: int = wire.WIRE_VERSION,
     ):
         self.path = path
         self.node_id = node_id
         self.instance = instance
+        #: Wire version this listener advertises in its HELLO reply — a
+        #: value below WIRE_VERSION makes the dialing link downgrade.
+        self.version = version
         #: False replies with our HELLO without checking theirs — lets a
         #: test hand the dialer a mismatching identity to choke on.
         self.validate = validate
@@ -64,7 +68,9 @@ class MiniListener:
             hello = wire.decode_body(await reader.readexactly(length))
             if self.validate:
                 wire.check_hello(hello, instance=self.instance)
-            writer.write(wire.encode_hello(self.node_id, self.instance))
+            writer.write(
+                wire.encode_hello(self.node_id, self.instance, self.version)
+            )
             await writer.drain()
             async for record in wire.read_frames(reader):
                 self.records.append(record)
@@ -295,6 +301,95 @@ class TestBackpressure:
 
         listener = asyncio.run(go())
         assert len(listener.records) == 2
+
+
+class TestVersionNegotiation:
+    STAMP = (7, 12, (5, 12))
+
+    def _exchange(self, path: str, listener_version: int):
+        async def go():
+            listener = MiniListener(path, node_id=1, version=listener_version)
+            await listener.start()
+            link = make_link(path)
+            link.start()
+            await link.send_message(
+                Message(0, 1, "bc:0", (1.0,)), stamp=self.STAMP
+            )
+            await link.close()
+            await listener.stop()
+            return listener, link
+
+        return asyncio.run(go())
+
+    def test_v2_peer_receives_stamp(self, tmp_path):
+        listener, link = self._exchange(str(tmp_path / "n1.sock"), 2)
+        assert link.wire_version == 2
+        (record,) = listener.records
+        assert wire.message_stamp(record) == self.STAMP
+
+    def test_v1_peer_downgrades_and_stamp_is_stripped(self, tmp_path):
+        # The stamp lives only at wire version 2: against a v1 peer the
+        # link must emit the legacy 7-tuple the peer can decode.
+        listener, link = self._exchange(str(tmp_path / "n1.sock"), 1)
+        assert link.wire_version == 1
+        (record,) = listener.records
+        assert len(record) == 7
+        assert wire.message_stamp(record) is None
+        seq, decoded = wire.decode_message(record)
+        assert decoded.payload == (1.0,)
+
+
+class TestLinkTelemetry:
+    def test_bytes_and_queue_wait_recorded(self, tmp_path):
+        path = str(tmp_path / "n1.sock")
+
+        async def go():
+            listener = MiniListener(path, node_id=1)
+            await listener.start()
+            link = make_link(path)
+            # Enqueue before starting the writer so frames measurably wait.
+            await link.send_message(Message(0, 1, "bc:0", (0.0,)))
+            await link.send_message(Message(0, 1, "bc:0", (1.0,)))
+            link.start()
+            await link.close()
+            await listener.stop()
+            return link
+
+        link = asyncio.run(go())
+        stats = link.stats
+        assert stats.frames_sent == 2
+        assert stats.bytes_sent > 0
+        assert stats.queue_depth_peak == 2
+        assert len(stats.queue_wait_samples) == 2
+        assert all(s >= 0.0 for s in stats.queue_wait_samples)
+        # as_dict exposes exactly the counter fields — gauges and samples
+        # fold into the registry elsewhere, under their own metric types.
+        assert set(stats.as_dict()) == set(stats.COUNTER_FIELDS)
+        assert stats.as_dict()["bytes_sent"] == stats.bytes_sent
+
+    def test_retransmit_samples_queue_wait_once(self, tmp_path):
+        # A frame that rides over a reconnect is retransmitted, but its
+        # time-in-queue was already measured: one sample per frame.
+        path = str(tmp_path / "n1.sock")
+
+        async def go():
+            listener = MiniListener(path, node_id=1)
+            await listener.start()
+            link = make_link(path, backoff_base=0.001, chaos_close_after=1)
+            link.start()
+            for i in range(3):
+                await link.send_message(Message(0, 1, "bc:0", (float(i),)))
+            deadline = asyncio.get_running_loop().time() + 5.0
+            while len(listener.records) < 3:
+                assert asyncio.get_running_loop().time() < deadline
+                await asyncio.sleep(0.01)
+            await link.close()
+            await listener.stop()
+            return link
+
+        link = asyncio.run(go())
+        assert link.stats.retransmits == 1
+        assert len(link.stats.queue_wait_samples) == 3
 
 
 class TestSequenceNumbers:

@@ -110,6 +110,59 @@ def _payload_equal(a, b) -> bool:
     return a == b
 
 
+class TestVersionedMessages:
+    STAMP = (42, 17, (3, 17, 0, 5))
+
+    def test_stamp_roundtrip(self):
+        msg = Message(1, 2, "rva:echo:0", np.array([0.5]), round=3)
+        record = roundtrip(wire.encode_message(msg, 9, stamp=self.STAMP))
+        assert len(record) == 8
+        assert wire.message_stamp(record) == self.STAMP
+        seq, decoded = wire.decode_message(record)
+        assert seq == 9
+        assert decoded.tag == msg.tag
+
+    def test_stamp_coordinates_normalised(self):
+        # Stamps may arrive with numpy ints or a list clock; the reader
+        # always sees plain ints and a tuple.
+        stamp = (np.int64(1), np.int64(4), [np.int64(2), np.int64(4)])
+        record = roundtrip(wire.encode_message(Message(0, 1, "val", ()), 0, stamp=stamp))
+        assert wire.message_stamp(record) == (1, 4, (2, 4))
+
+    def test_unstamped_v2_frame_has_no_stamp(self):
+        record = roundtrip(wire.encode_message(Message(0, 1, "val", ()), 0))
+        assert len(record) == 8
+        assert wire.message_stamp(record) is None
+
+    def test_v1_downgrade_strips_stamp(self):
+        # encode_for_version at version 1 must emit the legacy 7-tuple a
+        # version-1 peer can decode.
+        rec = wire.message_record(Message(0, 1, "val", ()), 5, self.STAMP)
+        record = roundtrip(wire.encode_for_version(rec, 1))
+        assert len(record) == 7
+        assert wire.message_stamp(record) is None
+        seq, decoded = wire.decode_message(record)
+        assert seq == 5
+        assert decoded.tag == "val"
+
+    def test_message_record_copies_payload_at_enqueue(self):
+        payload = np.array([1.0, 2.0])
+        rec = wire.message_record(Message(0, 1, "bc:0", payload), 0)
+        payload[0] = 99.0  # sender mutates after queueing, before encode
+        _, decoded = wire.decode_message(roundtrip(wire.encode_for_version(rec, 2)))
+        assert decoded.payload[0] == 1.0
+
+    def test_negotiate_picks_newest_common_version(self):
+        assert wire.negotiate(1) == 1
+        assert wire.negotiate(2) == 2
+        assert wire.negotiate(99) == wire.WIRE_VERSION
+
+    def test_v1_hello_accepted(self):
+        record = roundtrip(wire.encode_hello(3, "run-x", version=1))
+        assert wire.check_hello(record, instance="run-x", expected_id=3) == 3
+        assert wire.hello_version(record) == 1
+
+
 class TestControlRecords:
     def test_hello_roundtrip(self):
         record = roundtrip(wire.encode_hello(3, "run-x"))

@@ -467,3 +467,119 @@ class TestMetricsCLI:
         assert parse_prometheus_text(body)
         out = capsys.readouterr().out
         assert f"http://127.0.0.1:{port}/metrics" in out
+
+
+class TestFleetCLI:
+    """``repro fleet`` over a synthetic two-node trail directory."""
+
+    def write_cluster(self, tmp_path, orphan=False):
+        import json
+
+        import numpy as np
+
+        from repro.obs.causal import CausalCollector
+
+        seed, n, d, scale = 7, 2, 2, 1.0
+        mean = np.random.default_rng(seed).normal(
+            scale=scale, size=(n, d)
+        ).mean(axis=0)
+        c0, c1 = CausalCollector(n), CausalCollector(n)
+        e0 = c0.on_send(0, 1, "bc:0", time=0, digest="aaaa", round=0)
+        origin_eid, lamport, clock = c0.stamp(e0)
+        c1.on_send(1, 0, "bc:1", time=0, digest="bbbb", round=0)
+        c1.on_deliver_remote(
+            1, 0, origin_eid, lamport, clock, src=0, tag="bc:0", time=1
+        )
+        c0.on_mark("decide", 0, time=2)
+        c1.on_mark("decide", 1, time=2)
+        for pid, coll in ((0, c0), (1, c1)):
+            if orphan and pid == 0:
+                continue  # sender trail missing: the deliver orphans
+            records = [
+                {"type": "header", "schema": 2,
+                 "run_id": f"cli-n{pid}", "wall_time": 100.0},
+                {"type": "event", "t": 0.0,
+                 "name": "transport.node.topology", "level": "info",
+                 "fields": {"pid": pid, "algorithm": "averaging",
+                            "n": n, "d": d, "f": 0, "seed": seed,
+                            "input_scale": scale, "epsilon": 0.05,
+                            "p": 2.0, "k": 1, "delta": None,
+                            "kind": "uds"}},
+                {"type": "event", "t": 1.0,
+                 "name": "transport.node.decision", "level": "info",
+                 "fields": {"pid": pid, "decided": True,
+                            "decision": list(mean), "rounds": 3,
+                            "completed": True, "delta_used": None}},
+                {"type": "metrics", "metrics": {
+                    "net.live.frames_sent": {"type": "counter", "value": 1},
+                }},
+            ]
+            records[-1:-1] = coll.to_records()
+            with open(tmp_path / f"trail-n{pid}.jsonl", "w") as fp:
+                for rec in records:
+                    fp.write(json.dumps(rec) + "\n")
+        return str(tmp_path)
+
+    def test_stitch_writes_mergeable_graph(self, tmp_path, capsys):
+        from repro.obs.export import read_jsonl
+
+        trail_dir = self.write_cluster(tmp_path)
+        out = tmp_path / "stitched.jsonl"
+        code = main(["fleet", "stitch", "--trail-dir", trail_dir,
+                     "--out", str(out)])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "stitched 2 trails" in stdout
+        assert "0 orphan delivers" in stdout
+        records = read_jsonl(str(out))
+        assert records[0]["type"] == "header"
+        assert sum(1 for r in records if r.get("type") == "causal") == 5
+
+    def test_stitch_incomplete_exits_nonzero(self, tmp_path, capsys):
+        trail_dir = self.write_cluster(tmp_path, orphan=True)
+        assert main(["fleet", "stitch", "--trail-dir", trail_dir]) == 1
+        err = capsys.readouterr().err
+        assert "INCOMPLETE" in err
+
+    def test_probes_clean_and_injected(self, tmp_path, capsys):
+        import json
+
+        trail_dir = self.write_cluster(tmp_path)
+        assert main(["fleet", "probes", "--trail-dir", trail_dir]) == 0
+        out = capsys.readouterr().out
+        assert "probe validity: ok" in out
+        assert "probe agreement: ok" in out
+        assert "-> OK" in out
+
+        payload_path = tmp_path / "verdict.json"
+        code = main(["fleet", "probes", "--trail-dir", trail_dir,
+                     "--inject", "split-brain", "--out", str(payload_path)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "probe validity: VIOLATED" in out
+        payload = json.loads(payload_path.read_text())
+        assert payload["ok"] is False
+        assert payload["context"]["inject"] == "split-brain"
+        assert payload["stitch"]["complete"] is True
+
+    def test_explain_renders_cross_node_cone(self, tmp_path, capsys):
+        trail_dir = self.write_cluster(tmp_path)
+        assert main(["fleet", "explain", "--trail-dir", trail_dir,
+                     "--pid", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "deliver" in out and "origin=[0, 0]" in out
+
+    def test_metrics_aggregates_to_prometheus_text(self, tmp_path, capsys):
+        from repro.obs.prom import parse_prometheus_text
+
+        trail_dir = self.write_cluster(tmp_path)
+        assert main(["fleet", "metrics", "--trail-dir", trail_dir]) == 0
+        body = capsys.readouterr().out
+        samples = {
+            name: value for name, _, value in parse_prometheus_text(body)
+        }
+        assert samples["repro_net_live_frames_sent"] == 2.0  # summed
+
+    def test_no_trails_is_a_usage_error(self, capsys):
+        assert main(["fleet", "stitch"]) == 2
+        assert "fleet needs per-node trails" in capsys.readouterr().err
